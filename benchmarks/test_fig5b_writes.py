@@ -1,0 +1,42 @@
+"""Figure 5(b): NVM write traffic for the five designs, normalized to
+w/o CC.
+
+Paper shape: SC is the outlier at ~5.5x (every write-back flushes the
+counter and 10 internal tree nodes); Osiris Plus stays near the baseline
+(no tree persistence); the two cc-NVM variants share ~1.3-1.4x (epoch
+drains amortize metadata flushes across write-backs).
+"""
+
+from repro.analysis.report import write_traffic_table
+
+from benchmarks.common import banner, figure5_comparisons
+
+
+def test_fig5b_write_traffic(benchmark):
+    comparisons = benchmark.pedantic(
+        figure5_comparisons, rounds=1, iterations=1
+    )
+    table = write_traffic_table(comparisons)
+    banner(table.render())
+    averages = table.averages()
+
+    # SC has the most writes, on every single workload (Section 5.2).
+    for workload, row in table.rows.items():
+        assert row["sc"] == max(row.values()), workload
+
+    # SC's amplification is in the paper's band (5.5x average).
+    assert 3.5 < averages["sc"] < 7.0
+
+    # Osiris Plus barely exceeds the baseline (~1.0x).
+    assert averages["osiris_plus"] < 1.15
+
+    # The cc-NVM variants share the same drain traffic by construction.
+    for workload, row in table.rows.items():
+        assert abs(row["ccnvm"] - row["ccnvm_no_ds"]) < 0.05, workload
+
+    # cc-NVM's extra traffic is in the paper's band (+29.6 %..+39 %).
+    extra = averages["ccnvm"] - 1.0
+    assert 0.10 < extra < 0.60, f"cc-NVM extra write traffic: {extra:+.1%}"
+
+    # Ordering: baseline <= Osiris Plus <= cc-NVM < SC.
+    assert 1.0 <= averages["osiris_plus"] <= averages["ccnvm"] < averages["sc"]

@@ -1,0 +1,44 @@
+"""Figure 6(a): sensitivity to the update-times limit N (M = 64).
+
+Paper shape: larger N lengthens epochs, improving IPC and reducing NVM
+writes — but the effect saturates once N exceeds ~32, because the other
+two trigger conditions (queue capacity, dirty evictions) dominate epoch
+termination.
+"""
+
+from repro.analysis import experiments
+
+from benchmarks.common import SWEEP_LENGTH, BENCH_SEED, banner
+
+
+N_VALUES = [4, 8, 16, 32, 64]
+
+
+def run_sweep():
+    return experiments.figure6a(
+        values=N_VALUES, length=SWEEP_LENGTH, seed=BENCH_SEED
+    )
+
+
+def test_fig6a_update_limit(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    banner(series.render())
+
+    for scheme in ("ccnvm", "ccnvm_no_ds"):
+        ipc = dict(series.series(scheme, "ipc"))
+        writes = dict(series.series(scheme, "writes"))
+
+        # Monotone improvement direction: N=64 is no worse than N=4.
+        assert ipc[64] >= ipc[4] - 0.02
+        assert writes[64] <= writes[4] + 0.02
+
+        # Saturation: the N=32 -> N=64 step moves less than N=4 -> N=16
+        # ("it has little effect ... when the N is larger than 32").
+        early_gain = abs(ipc[16] - ipc[4])
+        late_gain = abs(ipc[64] - ipc[32])
+        assert late_gain <= early_gain + 0.01
+        assert abs(writes[64] - writes[32]) <= abs(writes[16] - writes[4]) + 0.01
+
+    # Osiris Plus's stop-loss flushing also relaxes with N.
+    osiris_writes = dict(series.series("osiris_plus", "writes"))
+    assert osiris_writes[64] <= osiris_writes[4] + 0.02

@@ -1,0 +1,48 @@
+"""Figure 6(b): sensitivity to the dirty-address-queue entries M (N = 16).
+
+Paper shape: a larger queue lengthens epochs (fewer queue-full drains),
+reducing write traffic and improving IPC; the benefit slows past M ~ 48
+as the other trigger conditions take over.  M is bounded above by the
+64-entry WPQ.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.common.config import SystemConfig
+
+from benchmarks.common import SWEEP_LENGTH, BENCH_SEED, banner
+
+
+M_VALUES = [32, 40, 48, 56, 64]
+
+
+def run_sweep():
+    return experiments.figure6b(
+        values=M_VALUES, length=SWEEP_LENGTH, seed=BENCH_SEED
+    )
+
+
+def test_fig6b_queue_entries(benchmark):
+    series = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    banner(series.render())
+
+    for scheme in ("ccnvm", "ccnvm_no_ds"):
+        ipc = dict(series.series(scheme, "ipc"))
+        writes = dict(series.series(scheme, "writes"))
+
+        # "cc-NVM achieves less write traffic and better performance with
+        # larger M."
+        assert ipc[64] >= ipc[32] - 0.02
+        assert writes[64] <= writes[32] + 0.02
+
+        # "when the M is larger than 48, the effect of M slows down."
+        early = abs(writes[48] - writes[32])
+        late = abs(writes[64] - writes[48])
+        assert late <= early + 0.02
+
+
+def test_m_is_bounded_by_the_wpq():
+    """The structural constraint behind the sweep's upper end."""
+    with pytest.raises(ValueError):
+        SystemConfig().with_epoch(dirty_queue_entries=65)

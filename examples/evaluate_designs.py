@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's evaluation at a chosen scale.
+
+Runs the Figure 5 matrix (eight SPEC-2006 surrogates x five designs) and
+prints the IPC and write-traffic tables plus the headline numbers; with
+``--sweep`` it adds the Figure 6 sensitivity panels.  This is the same
+pipeline the benchmark harness uses — see ``benchmarks/`` for the
+assertion-checked versions and EXPERIMENTS.md for recorded results.
+
+Run:  python examples/evaluate_designs.py [--length N] [--sweep]
+      (default length 4000 finishes in ~1 minute; 12000 matches the
+      recorded benchmark runs)
+"""
+
+import argparse
+
+from repro.analysis import experiments
+from repro.analysis.report import headline_numbers, ipc_table, write_traffic_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=4000,
+                        help="memory references per workload surrogate")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--sweep", action="store_true",
+                        help="also run the Figure 6 sensitivity sweeps")
+    args = parser.parse_args()
+
+    print(f"running Figure 5 matrix (8 workloads x 5 designs, "
+          f"{args.length} refs each)...")
+    comparisons = experiments.figure5_comparisons(args.length, args.seed)
+
+    print()
+    print(ipc_table(comparisons).render())
+    print()
+    print(write_traffic_table(comparisons).render())
+    print()
+    print("headline numbers (paper vs this run):")
+    print(headline_numbers(comparisons).render())
+
+    if args.sweep:
+        print("\nrunning Figure 6 sweeps...")
+        print()
+        print(experiments.figure6a(length=args.length, seed=args.seed).render())
+        print()
+        print(experiments.figure6b(length=args.length, seed=args.seed).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: a secure, crash-consistent NVM in five minutes.
+
+Creates a cc-NVM machine with the paper's configuration, stores data
+through the full pipeline (caches -> counter-mode encryption -> data
+HMACs -> Merkle-tree-protected counters -> PCM), survives a power
+failure, and shows what the attacker actually sees in memory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SecureMemory
+
+
+def main() -> None:
+    # A cc-NVM machine.  The default device is the paper's 16 GB PCM
+    # (stored sparsely, so this is cheap); `data_capacity` scales it down.
+    mem = SecureMemory(scheme="ccnvm")
+    print(f"secure NVM ready: {mem.capacity >> 30} GB, scheme = ccnvm")
+
+    # -- ordinary persistent-memory usage ---------------------------------
+    mem.store(0x1000, b"account balance: 1432.17")
+    mem.store(0x2000, b"audit log entry #1")
+    mem.persist(0x1000, 64)  # clwb-style durability point
+    mem.persist(0x2000, 64)
+    print("stored and persisted two records")
+
+    # -- what the adversary sees ------------------------------------------
+    ciphertext = mem.attacker().observe(0x1000)
+    print(f"attacker reads NVM at 0x1000: {ciphertext[:24].hex()}... "
+          "(counter-mode ciphertext, no plaintext)")
+
+    # -- power failure ------------------------------------------------------
+    mem.crash()
+    print("power failure! all caches and volatile metadata lost")
+
+    report = mem.recover()
+    print(f"recovery: success={report.success}, clean={report.clean}, "
+          f"counters rolled forward on {report.recovered_blocks} block(s) "
+          f"with {report.total_retries} data-HMAC retries")
+
+    balance = mem.load(0x1000, 24)
+    print(f"data after recovery: {balance!r}")
+    assert balance == b"account balance: 1432.17"
+
+    # -- the machine keeps statistics everywhere ---------------------------
+    mem.flush()  # commit the open epoch so metadata traffic is visible
+    writes = mem.nvm_writes()
+    print(f"NVM write traffic by region: {writes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""A crash-safe key-value store on secure NVM.
+
+The workload the paper's introduction motivates: an application that
+"stores and manipulates persistent data in-place in memory".  This
+example builds a small hash-table KV store directly on
+:class:`~repro.core.api.SecureMemory`, with a write-ahead commit flag so
+*application-level* consistency composes with cc-NVM's *metadata-level*
+crash consistency.  A power failure mid-update loses at most the
+uncommitted record — never the store's integrity, and never silently.
+
+Run:  python examples/secure_kv_store.py
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro import SecureMemory
+
+BUCKETS = 256
+SLOT_SIZE = 128  # 1 byte valid + 1 byte klen + 2 bytes vlen + payloads
+HEADER = 4
+
+
+class SecureKVStore:
+    """A fixed-geometry persistent hash table over SecureMemory."""
+
+    def __init__(self, memory: SecureMemory) -> None:
+        self.memory = memory
+
+    def _slot_addr(self, key: bytes) -> int:
+        return (zlib.crc32(key) % BUCKETS) * SLOT_SIZE
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert/update one record with a two-step durable commit."""
+        if len(key) > 60 or len(value) > SLOT_SIZE - HEADER - 60:
+            raise ValueError("record too large for a slot")
+        addr = self._slot_addr(key)
+        record = (
+            bytes([0, len(key)])
+            + len(value).to_bytes(2, "little")
+            + key
+            + value
+        )
+        # Step 1: write the record with the valid flag CLEAR, persist.
+        self.memory.store(addr, record.ljust(SLOT_SIZE, b"\x00"))
+        self.memory.persist(addr, SLOT_SIZE)
+        # Step 2: set the valid flag and persist again — the commit point.
+        self.memory.store(addr, b"\x01")
+        self.memory.persist(addr, 1)
+
+    def get(self, key: bytes) -> bytes | None:
+        """Look one record up; None when absent or uncommitted."""
+        addr = self._slot_addr(key)
+        header = self.memory.load(addr, HEADER)
+        if header[0] != 1:
+            return None
+        klen = header[1]
+        vlen = int.from_bytes(header[2:4], "little")
+        stored_key = self.memory.load(addr + HEADER, klen)
+        if stored_key != key:
+            return None  # collision with a different key
+        return self.memory.load(addr + HEADER + klen, vlen)
+
+
+def main() -> None:
+    mem = SecureMemory("ccnvm", data_capacity=1 << 20, seed=7)
+    store = SecureKVStore(mem)
+
+    print("populating the store...")
+    records = {
+        b"alice": b"balance=1200",
+        b"bob": b"balance=87",
+        b"carol": b"balance=5530",
+    }
+    for key, value in records.items():
+        store.put(key, value)
+
+    print("power failure mid-operation...")
+    # An update that crashes between step 1 and step 2: the new record is
+    # written but never committed.
+    addr = store._slot_addr(b"dave")
+    record = bytes([0, 4, 12, 0]) + b"dave" + b"balance=9999"
+    mem.store(addr, record.ljust(SLOT_SIZE, b"\x00"))
+    mem.persist(addr, SLOT_SIZE)
+    mem.crash()
+
+    report = mem.recover()
+    print(f"cc-NVM recovery: success={report.success}, "
+          f"retries={report.total_retries}")
+
+    print("\nstate after recovery:")
+    for key in (b"alice", b"bob", b"carol", b"dave"):
+        value = store.get(key)
+        status = value.decode() if value else "(not committed)"
+        print(f"  {key.decode():6s} -> {status}")
+
+    assert store.get(b"alice") == b"balance=1200"
+    assert store.get(b"dave") is None  # torn update correctly invisible
+
+    print("\nupdating after recovery works normally:")
+    store.put(b"dave", b"balance=41")
+    print(f"  dave   -> {store.get(b'dave').decode()}")
+
+    mem.flush()  # commit the open epoch so metadata traffic is visible
+    writes = mem.nvm_writes()
+    total = sum(writes.values())
+    meta = writes.get("counter", 0) + writes.get("merkle", 0)
+    print(f"\nNVM writes: {total} total, {meta} metadata "
+          f"({meta / total:.1%} overhead for full crash-consistent security)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""cc-NVM: secure NVM with crash consistency, write-efficiency and
+high performance — a full reproduction of the DAC 2019 paper.
+
+The package implements, from scratch, every layer of the paper's system:
+
+* counter-mode encryption and Bonsai-Merkle-Tree authentication over a
+  16 GB (sparse) PCM model (:mod:`repro.crypto`, :mod:`repro.metadata`,
+  :mod:`repro.mem`);
+* the five evaluated designs — w/o CC, SC, Osiris Plus, cc-NVM w/o DS and
+  cc-NVM — behind one scheme interface (:mod:`repro.core.schemes`);
+* crash injection, attack injection and the four-step recovery of
+  Section 4.4 (:mod:`repro.core`);
+* a trace-driven CPU + cache-hierarchy timing model and the SPEC-2006-
+  inspired workload profiles driving the paper's figures
+  (:mod:`repro.sim`, :mod:`repro.workloads`).
+
+Entry points:
+
+* :class:`SecureMemory` — byte-granular secure memory facade;
+* :func:`run_simulation` / :func:`run_design_comparison` — the evaluation
+  pipeline behind Figures 5 and 6;
+* :func:`create_scheme` — direct access to one design.
+"""
+
+from repro.common.config import SystemConfig, paper_config
+from repro.core.api import SecureMemory
+from repro.core.attacks import Attacker
+from repro.core.recovery import AttackFinding, RecoveryReport
+from repro.core.schemes import SCHEME_LABELS, SCHEMES, create_scheme
+from repro.metadata.metacache import IntegrityError
+from repro.sim.runner import (
+    DesignComparison,
+    SimulationResult,
+    run_design_comparison,
+    run_simulation,
+)
+from repro.sim.trace import Trace, TraceRecord
+from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES, all_spec_traces, spec_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attacker",
+    "AttackFinding",
+    "DesignComparison",
+    "IntegrityError",
+    "RecoveryReport",
+    "SCHEME_LABELS",
+    "SCHEMES",
+    "SPEC_ORDER",
+    "SPEC_PROFILES",
+    "SecureMemory",
+    "SimulationResult",
+    "SystemConfig",
+    "Trace",
+    "TraceRecord",
+    "all_spec_traces",
+    "create_scheme",
+    "paper_config",
+    "run_design_comparison",
+    "run_simulation",
+    "spec_trace",
+    "__version__",
+]

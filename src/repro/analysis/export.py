@@ -1,0 +1,93 @@
+"""Export figure data for external plotting.
+
+The in-repo rendering is ASCII (no plotting dependency); real papers get
+re-plotted, so every table/series exports to CSV and JSON with stable
+column names.  ``ascii_bars`` additionally renders a Figure-5-style
+grouped bar chart directly in the terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.analysis.report import FigureTable, SensitivitySeries
+from repro.core.schemes import SCHEME_LABELS
+
+
+def table_to_csv(table: FigureTable) -> str:
+    """CSV with a ``workload`` column plus one column per design."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["workload"] + list(table.schemes))
+    for workload, row in table.rows.items():
+        writer.writerow([workload] + [f"{row[s]:.6f}" for s in table.schemes])
+    writer.writerow(["average"] + [
+        f"{table.average(s):.6f}" for s in table.schemes
+    ])
+    return buffer.getvalue()
+
+
+def table_to_json(table: FigureTable) -> str:
+    """JSON document with rows, averages and display labels."""
+    return json.dumps(
+        {
+            "title": table.title,
+            "schemes": list(table.schemes),
+            "labels": {s: SCHEME_LABELS.get(s, s) for s in table.schemes},
+            "rows": table.rows,
+            "averages": table.averages(),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def series_to_csv(series: SensitivitySeries) -> str:
+    """CSV with parameter value, design, and both metrics per row."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([series.parameter, "scheme", "normalized_ipc",
+                     "normalized_writes"])
+    for value in sorted(series.points):
+        for scheme, metrics in sorted(series.points[value].items()):
+            writer.writerow(
+                [value, scheme, f"{metrics['ipc']:.6f}",
+                 f"{metrics['writes']:.6f}"]
+            )
+    return buffer.getvalue()
+
+
+def series_to_json(series: SensitivitySeries) -> str:
+    """JSON document with the swept points per design."""
+    return json.dumps(
+        {
+            "title": series.title,
+            "parameter": series.parameter,
+            "points": {str(v): m for v, m in sorted(series.points.items())},
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def ascii_bars(table: FigureTable, width: int = 40, ceiling: float | None = None) -> str:
+    """A grouped horizontal bar chart, one group per workload.
+
+    *ceiling* fixes the full-scale value (defaults to the table maximum),
+    so IPC tables naturally scale to 1.0 and traffic tables to the SC
+    amplification.
+    """
+    top = ceiling or max(max(row.values()) for row in table.rows.values())
+    label_width = max(len(SCHEME_LABELS.get(s, s)) for s in table.schemes)
+    lines = [table.title]
+    for workload, row in table.rows.items():
+        lines.append(f"{workload}:")
+        for scheme in table.schemes:
+            value = row[scheme]
+            filled = max(0, min(width, round(value / top * width)))
+            bar = "#" * filled + "." * (width - filled)
+            label = SCHEME_LABELS.get(scheme, scheme)
+            lines.append(f"  {label:<{label_width}} |{bar}| {value:.2f}")
+    return "\n".join(lines)

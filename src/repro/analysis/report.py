@@ -1,0 +1,195 @@
+"""Result tables in the shape of the paper's figures.
+
+The benchmark harness produces :class:`~repro.sim.runner.DesignComparison`
+objects; this module renders them as the rows/series the paper reports —
+normalized IPC per benchmark and design (Figure 5(a)), normalized NVM
+write traffic (Figure 5(b)), sensitivity series over N and M (Figure 6) —
+plus the headline scalars quoted in the abstract and Sections 2.3/5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schemes import SCHEME_LABELS
+from repro.sim.runner import DesignComparison
+
+#: Figure 5's design order (the baseline is the normalization target).
+FIGURE5_SCHEMES = ["sc", "osiris_plus", "ccnvm_no_ds", "ccnvm"]
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean (the conventional aggregate for normalized ratios)."""
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+@dataclass
+class FigureTable:
+    """One figure's data: rows = workloads, columns = designs."""
+
+    title: str
+    schemes: list[str]
+    rows: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def add_row(self, workload: str, values: dict[str, float]) -> None:
+        """Record one workload's series."""
+        self.rows[workload] = dict(values)
+
+    def column(self, scheme: str) -> list[float]:
+        """All workloads' values for one design (row order)."""
+        return [row[scheme] for row in self.rows.values()]
+
+    def average(self, scheme: str) -> float:
+        """Geometric-mean aggregate of one design's column."""
+        return geometric_mean(self.column(scheme))
+
+    def averages(self) -> dict[str, float]:
+        """Geometric-mean aggregate per design."""
+        return {scheme: self.average(scheme) for scheme in self.schemes}
+
+    def render(self, fmt: str = "{:>6.3f}") -> str:
+        """ASCII table matching the paper's figure layout."""
+        labels = [SCHEME_LABELS.get(s, s) for s in self.schemes]
+        width = max(12, max((len(w) for w in self.rows), default=12))
+        header = f"{'workload':<{width}} " + " ".join(f"{l:>14}" for l in labels)
+        lines = [self.title, "=" * len(header), header, "-" * len(header)]
+        for workload, row in self.rows.items():
+            cells = " ".join(f"{fmt.format(row[s]):>14}" for s in self.schemes)
+            lines.append(f"{workload:<{width}} {cells}")
+        lines.append("-" * len(header))
+        cells = " ".join(f"{fmt.format(self.average(s)):>14}" for s in self.schemes)
+        lines.append(f"{'average':<{width}} {cells}")
+        return "\n".join(lines)
+
+
+def ipc_table(
+    comparisons: dict[str, DesignComparison],
+    schemes: list[str] | None = None,
+    title: str = "Figure 5(a): system IPC, normalized to w/o CC",
+) -> FigureTable:
+    """Build the Figure 5(a) table from per-workload comparisons."""
+    schemes = schemes or FIGURE5_SCHEMES
+    table = FigureTable(title, schemes)
+    for workload, cmp in comparisons.items():
+        table.add_row(
+            workload, {s: cmp.normalized_ipc(s) for s in schemes}
+        )
+    return table
+
+
+def write_traffic_table(
+    comparisons: dict[str, DesignComparison],
+    schemes: list[str] | None = None,
+    title: str = "Figure 5(b): NVM write traffic, normalized to w/o CC",
+) -> FigureTable:
+    """Build the Figure 5(b) table from per-workload comparisons."""
+    schemes = schemes or FIGURE5_SCHEMES
+    table = FigureTable(title, schemes)
+    for workload, cmp in comparisons.items():
+        table.add_row(
+            workload, {s: cmp.normalized_writes(s) for s in schemes}
+        )
+    return table
+
+
+@dataclass(frozen=True)
+class HeadlineNumbers:
+    """The scalars the abstract and Sections 1/2.3/5 quote."""
+
+    #: cc-NVM IPC improvement over Osiris Plus (paper: +20.4 %).
+    ccnvm_ipc_gain_over_osiris: float
+    #: cc-NVM extra NVM write traffic vs the w/o-CC baseline (paper:
+    #: 29.6 % in the abstract; Section 5.2 reports 39 % on its mix).
+    ccnvm_extra_write_traffic: float
+    #: SC performance degradation vs baseline (paper Section 2.3: 41.4 %).
+    sc_ipc_loss: float
+    #: SC write amplification vs baseline (paper Section 2.3: 5.5x).
+    sc_write_amplification: float
+    #: cc-NVM IPC loss vs baseline (paper Section 5.1: 18.7 %).
+    ccnvm_ipc_loss: float
+
+    def render(self) -> str:
+        """Paper-vs-measured summary block."""
+        rows = [
+            ("cc-NVM IPC gain over Osiris Plus", "+20.4%",
+             f"{self.ccnvm_ipc_gain_over_osiris * 100:+.1f}%"),
+            ("cc-NVM extra write traffic vs w/o CC", "+29.6%..+39%",
+             f"{self.ccnvm_extra_write_traffic * 100:+.1f}%"),
+            ("SC performance degradation", "-41.4%",
+             f"{-self.sc_ipc_loss * 100:.1f}%"),
+            ("SC write amplification", "5.5x",
+             f"{self.sc_write_amplification:.2f}x"),
+            ("cc-NVM IPC loss vs w/o CC", "-18.7%",
+             f"{-self.ccnvm_ipc_loss * 100:.1f}%"),
+        ]
+        width = max(len(r[0]) for r in rows)
+        lines = [f"{'metric':<{width}}  {'paper':>14} {'measured':>12}"]
+        for name, paper, measured in rows:
+            lines.append(f"{name:<{width}}  {paper:>14} {measured:>12}")
+        return "\n".join(lines)
+
+
+def headline_numbers(
+    comparisons: dict[str, DesignComparison],
+) -> HeadlineNumbers:
+    """Compute the headline scalars from a set of workload comparisons."""
+    ipc = ipc_table(comparisons)
+    writes = write_traffic_table(comparisons)
+    ccnvm_ipc = ipc.average("ccnvm")
+    osiris_ipc = ipc.average("osiris_plus")
+    return HeadlineNumbers(
+        ccnvm_ipc_gain_over_osiris=ccnvm_ipc / osiris_ipc - 1.0,
+        ccnvm_extra_write_traffic=writes.average("ccnvm") - 1.0,
+        sc_ipc_loss=1.0 - ipc.average("sc"),
+        sc_write_amplification=writes.average("sc"),
+        ccnvm_ipc_loss=1.0 - ccnvm_ipc,
+    )
+
+
+@dataclass
+class SensitivitySeries:
+    """One Figure 6 panel: metric vs a swept parameter, per design."""
+
+    title: str
+    parameter: str
+    points: dict[int, dict[str, dict[str, float]]] = field(default_factory=dict)
+
+    def add_point(
+        self, value: int, scheme: str, ipc: float, writes: float
+    ) -> None:
+        """Record one (parameter value, design) measurement."""
+        self.points.setdefault(value, {})[scheme] = {
+            "ipc": ipc,
+            "writes": writes,
+        }
+
+    def series(self, scheme: str, metric: str) -> list[tuple[int, float]]:
+        """(parameter, value) pairs for one design and metric."""
+        return [
+            (value, metrics[scheme][metric])
+            for value, metrics in sorted(self.points.items())
+            if scheme in metrics
+        ]
+
+    def render(self) -> str:
+        """ASCII rendering of both metric panels."""
+        lines = [self.title]
+        schemes = sorted({s for m in self.points.values() for s in m})
+        for metric in ("ipc", "writes"):
+            lines.append(f"  normalized {metric} vs {self.parameter}:")
+            header = f"    {self.parameter:>6} " + " ".join(
+                f"{SCHEME_LABELS.get(s, s):>14}" for s in schemes
+            )
+            lines.append(header)
+            for value in sorted(self.points):
+                cells = " ".join(
+                    f"{self.points[value].get(s, {}).get(metric, float('nan')):>14.3f}"
+                    for s in schemes
+                )
+                lines.append(f"    {value:>6} {cells}")
+        return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — the modeled configuration (the paper's Section 5 setup);
+* ``evaluate`` — regenerate the Figure 5 tables and headline numbers;
+* ``sweep`` — the Figure 6 sensitivity panels;
+* ``demo`` — a one-minute crash/attack/recovery walk-through;
+* ``simulate`` — run one workload on one design and dump statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments
+from repro.analysis.report import headline_numbers, ipc_table, write_traffic_table
+from repro.common.config import SystemConfig
+from repro.core.schemes import SCHEME_LABELS
+from repro.sim.runner import run_simulation
+from repro.workloads.spec import SPEC_ORDER, spec_trace
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    config = SystemConfig()
+    print("cc-NVM reproduction — modeled system (paper Section 5)")
+    print(f"  core               3 GHz, peak IPC {config.cpu.peak_ipc}")
+    print(f"  L1                 {config.l1.size_bytes >> 10} KB, "
+          f"{config.l1.associativity}-way, {config.l1.hit_latency} cycles")
+    print(f"  L2                 {config.l2.size_bytes >> 10} KB, "
+          f"{config.l2.associativity}-way, {config.l2.hit_latency} cycles")
+    meta = config.security.meta_cache
+    print(f"  meta cache         {meta.size_bytes >> 10} KB, "
+          f"{meta.associativity}-way, {meta.hit_latency} cycles")
+    print(f"  NVM                {config.nvm.capacity_bytes >> 30} GB PCM, "
+          f"{config.nvm.read_latency_ns:.0f}/{config.nvm.write_latency_ns:.0f} ns, "
+          f"{config.nvm.banks} banks")
+    print(f"  AES / HMAC         {config.security.aes_latency_ns:.0f} ns / "
+          f"{config.security.hmac_latency_cycles} cycles")
+    print(f"  WPQ                {config.controller.wpq_entries} entries (ADR)")
+    print(f"  epoch triggers     M={config.epoch.dirty_queue_entries}, "
+          f"N={config.epoch.update_limit}, "
+          f"lookup {config.epoch.dirty_queue_lookup_cycles} cycles")
+    print(f"  designs            {', '.join(SCHEME_LABELS.values())}")
+    print(f"  workloads          {', '.join(SPEC_ORDER)}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    print(f"Figure 5 matrix: 8 workloads x 5 designs, {args.length} refs each")
+    comparisons = experiments.figure5_comparisons(args.length, args.seed)
+    ipc = ipc_table(comparisons)
+    writes = write_traffic_table(comparisons)
+    print()
+    print(ipc.render())
+    print()
+    print(writes.render())
+    print()
+    print(headline_numbers(comparisons).render())
+    if args.export:
+        import os
+
+        from repro.analysis.export import table_to_csv, table_to_json
+
+        os.makedirs(args.export, exist_ok=True)
+        for name, table in (("fig5a_ipc", ipc), ("fig5b_writes", writes)):
+            with open(os.path.join(args.export, f"{name}.csv"), "w") as f:
+                f.write(table_to_csv(table))
+            with open(os.path.join(args.export, f"{name}.json"), "w") as f:
+                f.write(table_to_json(table))
+        print(f"\nexported CSV/JSON to {args.export}/")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    print(experiments.figure6a(length=args.length, seed=args.seed).render())
+    print()
+    print(experiments.figure6b(length=args.length, seed=args.seed).render())
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    trace = spec_trace(args.workload, args.length, args.seed)
+    result = run_simulation(args.scheme, trace)
+    print(f"{result.label} on {result.workload}: "
+          f"{result.instructions} instructions, {result.cycles} cycles, "
+          f"IPC {result.ipc:.4f}")
+    print(f"  NVM writes {result.nvm_writes} {result.writes_by_region}, "
+          f"reads {result.nvm_reads}")
+    print(f"  LLC write-backs {result.llc_writebacks}, epochs {result.epochs} "
+          f"{result.drains_by_trigger}")
+    print(f"  HMAC computations: {result.counter_hmacs} counter, "
+          f"{result.data_hmacs} data")
+    return 0
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    from repro import SecureMemory
+
+    mem = SecureMemory(data_capacity=1 << 22)
+    mem.store(0x1000, b"the data that must survive")
+    mem.persist(0x1000, 64)
+    print("stored + persisted; crashing...")
+    mem.crash()
+    report = mem.recover()
+    print(f"recovered: success={report.success}, retries={report.total_retries}")
+    print(f"data: {mem.load(0x1000, 26)!r}")
+    mem.attacker().spoof_data(0x1000)
+    mem.crash()
+    report = mem.recover()
+    located = [hex(f.address) for f in report.findings if f.address is not None]
+    print(f"after spoofing: success={report.success}, located={located}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="cc-NVM (DAC 2019) reproduction"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show the modeled configuration").set_defaults(
+        func=cmd_info
+    )
+
+    evaluate = sub.add_parser("evaluate", help="regenerate Figure 5")
+    evaluate.add_argument("--length", type=int, default=4000)
+    evaluate.add_argument("--seed", type=int, default=1)
+    evaluate.add_argument("--export", metavar="DIR", default=None,
+                          help="also write CSV/JSON figure data into DIR")
+    evaluate.set_defaults(func=cmd_evaluate)
+
+    sweep = sub.add_parser("sweep", help="regenerate Figure 6")
+    sweep.add_argument("--length", type=int, default=3000)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.set_defaults(func=cmd_sweep)
+
+    simulate = sub.add_parser("simulate", help="run one workload on one design")
+    simulate.add_argument("workload", choices=SPEC_ORDER)
+    simulate.add_argument("--scheme", default="ccnvm", choices=sorted(SCHEME_LABELS))
+    simulate.add_argument("--length", type=int, default=4000)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(func=cmd_simulate)
+
+    sub.add_parser("demo", help="crash/attack/recovery walk-through").set_defaults(
+        func=cmd_demo
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

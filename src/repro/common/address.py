@@ -1,0 +1,73 @@
+"""Address arithmetic helpers.
+
+All addresses in the model are plain integers (physical byte addresses).
+The helpers here centralize the line/page alignment math so that the rest
+of the code never open-codes shifts and masks.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import (
+    BLOCKS_PER_PAGE,
+    CACHE_LINE_BITS,
+    CACHE_LINE_SIZE,
+    PAGE_BITS,
+    PAGE_SIZE,
+)
+
+
+def line_align(addr: int) -> int:
+    """Round *addr* down to the start of its cache line."""
+    return addr & ~(CACHE_LINE_SIZE - 1)
+
+
+def line_offset(addr: int) -> int:
+    """Byte offset of *addr* inside its cache line."""
+    return addr & (CACHE_LINE_SIZE - 1)
+
+
+def line_index(addr: int) -> int:
+    """Global index of the cache line containing *addr*."""
+    return addr >> CACHE_LINE_BITS
+
+
+def line_address(index: int) -> int:
+    """Byte address of the cache line with global index *index*."""
+    return index << CACHE_LINE_BITS
+
+
+def page_align(addr: int) -> int:
+    """Round *addr* down to the start of its page."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_index(addr: int) -> int:
+    """Global index of the page containing *addr*."""
+    return addr >> PAGE_BITS
+
+
+def page_address(index: int) -> int:
+    """Byte address of the page with global index *index*."""
+    return index << PAGE_BITS
+
+
+def block_in_page(addr: int) -> int:
+    """Index (0..63) of the data block containing *addr* within its page."""
+    return (addr >> CACHE_LINE_BITS) & (BLOCKS_PER_PAGE - 1)
+
+
+def is_line_aligned(addr: int) -> bool:
+    """True if *addr* is the first byte of a cache line."""
+    return (addr & (CACHE_LINE_SIZE - 1)) == 0
+
+
+def lines_covering(addr: int, size: int) -> list[int]:
+    """Line-aligned addresses of every cache line touched by ``[addr, addr+size)``.
+
+    A zero-sized access touches no lines.
+    """
+    if size <= 0:
+        return []
+    first = line_align(addr)
+    last = line_align(addr + size - 1)
+    return list(range(first, last + 1, CACHE_LINE_SIZE))

@@ -1,0 +1,221 @@
+"""Configuration dataclasses for the full cc-NVM system model.
+
+Defaults follow the paper's evaluation setup (Section 5):
+
+* x86-64 out-of-order core at 3 GHz;
+* private 32 KB L1 (2 cycles), shared 256 KB 8-way L2 (20 cycles);
+* shared 128 KB 8-way meta cache at the L2 level (32 cycles) holding both
+  encryption counters and Merkle-tree nodes;
+* 64 B blocks, LRU replacement everywhere;
+* PCM with 60 ns reads / 150 ns writes, 16 GB capacity;
+* 32-entry read queue / 64-entry write queue in the memory controller,
+  64-entry (4 KB) ADR-protected write pending queue;
+* 72 ns AES latency, 80-cycle SHA-1 HMAC latency, 128-bit HMAC codewords
+  (hence a 4-ary, 12-level Merkle tree);
+* 32-cycle dirty-address-queue lookup;
+* update-times limit N = 16 and 64-entry dirty address queue (M = 64) for
+  the epoch trigger conditions.
+
+Each config class is immutable (frozen dataclass) so a config can be shared
+between system components without defensive copying; derived quantities are
+exposed as properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.common.constants import CACHE_LINE_SIZE, DEFAULT_NVM_CAPACITY
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Core and clock parameters of the trace-driven CPU model."""
+
+    #: Core clock in Hz (3 GHz in the paper).
+    frequency_hz: float = 3e9
+
+    #: Instructions retired per cycle while no memory stall is pending.  A
+    #: modest out-of-order core sustains about 2 on SPEC-like code.
+    peak_ipc: float = 2.0
+
+    #: Fraction of a demand-read miss latency hidden by out-of-order
+    #: memory-level parallelism.  0.0 models a fully blocking core, values
+    #: toward 1.0 model perfect overlap.  The normalized figures are largely
+    #: insensitive to this constant because it applies to every design.
+    mlp_overlap: float = 0.35
+
+    #: Fraction of an LLC write-back's blocking latency hidden from the
+    #: core by the miss-status/write-back buffers.  The eviction only
+    #: delays the demand fill when those buffers back up, so part of the
+    #: serial metadata work (the HMAC chain to the root in SC / Osiris
+    #: Plus / cc-NVM w/o DS) overlaps useful execution.  The exposed
+    #: fraction is what Figure 5(a) measures.
+    writeback_overlap: float = 0.6
+
+    def ns_to_cycles(self, nanoseconds: float) -> int:
+        """Convert a latency in nanoseconds to (rounded) core cycles."""
+        return round(nanoseconds * self.frequency_hz / 1e9)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one set-associative cache."""
+
+    size_bytes: int
+    associativity: int
+    hit_latency: int
+    line_size: int = CACHE_LINE_SIZE
+    name: str = "cache"
+    #: XOR-fold high address bits into the set index.  The metadata
+    #: regions start at large power-of-two offsets, so plain modulo
+    #: indexing maps the index-0 node of *every* tree level into the same
+    #: set; hashed indexing (standard practice for shared metadata
+    #: caches) spreads them out.
+    hashed_sets: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.associativity * self.line_size):
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible by "
+                f"{self.associativity} ways x {self.line_size} B lines"
+            )
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{self.name}: number of sets must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (size / (ways * line size))."""
+        return self.size_bytes // (self.associativity * self.line_size)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_size
+
+
+@dataclass(frozen=True)
+class NVMConfig:
+    """The PCM device model."""
+
+    capacity_bytes: int = DEFAULT_NVM_CAPACITY
+    read_latency_ns: float = 60.0
+    write_latency_ns: float = 150.0
+    #: Independent banks per rank: access *latency* stays at the array
+    #: timings above, but the device sustains one line transfer per
+    #: (latency / banks) once requests pipeline across banks.
+    banks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("NVM capacity must be positive")
+        if self.banks <= 0:
+            raise ValueError("NVM needs at least one bank")
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Memory-controller queueing parameters."""
+
+    read_queue_entries: int = 32
+    write_queue_entries: int = 64
+    #: ADR-protected write pending queue entries (64 x 64 B = 4 KB).
+    wpq_entries: int = 64
+
+
+@dataclass(frozen=True)
+class SecurityConfig:
+    """Latency and sizing of the encryption/authentication engines."""
+
+    #: End-to-end AES (OTP generation) latency in nanoseconds.
+    aes_latency_ns: float = 72.0
+    #: One SHA-1 HMAC computation, in core cycles.
+    hmac_latency_cycles: int = 80
+    #: Meta cache shared by counters and Merkle-tree nodes.
+    meta_cache: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=128 * 1024,
+            associativity=8,
+            hit_latency=32,
+            name="meta",
+            hashed_sets=True,
+        )
+    )
+
+
+@dataclass(frozen=True)
+class EpochConfig:
+    """Tunables of the epoch-based consistency mechanism (Section 4.2)."""
+
+    #: M — number of entries in the drainer's dirty address queue.  Bounded
+    #: above by the WPQ depth ("it must be less than 64", i.e. at most 64).
+    dirty_queue_entries: int = 64
+    #: N — a metadata cache line that has been updated more than this many
+    #: times since turning dirty triggers a drain (bounds recovery retries).
+    update_limit: int = 16
+    #: Look-up latency of the dirty address queue in core cycles.
+    dirty_queue_lookup_cycles: int = 32
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Aggregate configuration for one simulated system instance."""
+
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=32 * 1024, associativity=2, hit_latency=2, name="l1"
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=256 * 1024, associativity=8, hit_latency=20, name="l2"
+        )
+    )
+    nvm: NVMConfig = field(default_factory=NVMConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
+    security: SecurityConfig = field(default_factory=SecurityConfig)
+    epoch: EpochConfig = field(default_factory=EpochConfig)
+
+    def __post_init__(self) -> None:
+        if self.epoch.dirty_queue_entries > self.controller.wpq_entries:
+            raise ValueError(
+                "dirty address queue cannot have more entries than the WPQ "
+                f"({self.epoch.dirty_queue_entries} > {self.controller.wpq_entries})"
+            )
+
+    # -- paper-derived latencies, in core cycles ---------------------------
+
+    @property
+    def nvm_read_cycles(self) -> int:
+        """PCM read latency in core cycles (60 ns -> 180 at 3 GHz)."""
+        return self.cpu.ns_to_cycles(self.nvm.read_latency_ns)
+
+    @property
+    def nvm_write_cycles(self) -> int:
+        """PCM write latency in core cycles (150 ns -> 450 at 3 GHz)."""
+        return self.cpu.ns_to_cycles(self.nvm.write_latency_ns)
+
+    @property
+    def aes_cycles(self) -> int:
+        """OTP generation latency in core cycles (72 ns -> 216 at 3 GHz)."""
+        return self.cpu.ns_to_cycles(self.security.aes_latency_ns)
+
+    def with_epoch(self, **changes: Any) -> "SystemConfig":
+        """A copy of this config with epoch parameters replaced.
+
+        Convenience for sensitivity sweeps::
+
+            cfg.with_epoch(update_limit=32)
+        """
+        return replace(self, epoch=replace(self.epoch, **changes))
+
+    def with_nvm(self, **changes: Any) -> "SystemConfig":
+        """A copy of this config with NVM parameters replaced."""
+        return replace(self, nvm=replace(self.nvm, **changes))
+
+
+def paper_config() -> SystemConfig:
+    """The exact configuration used in the paper's evaluation (Section 5)."""
+    return SystemConfig()

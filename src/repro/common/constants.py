@@ -1,0 +1,50 @@
+"""Architectural constants shared across the cc-NVM model.
+
+The values here mirror the evaluation setup of the paper (Section 5):
+64-byte cache blocks everywhere, 4 KB pages, a 16 GB PCM device, 128-bit
+HMAC codewords, and a 4-ary Bonsai Merkle Tree.  Everything that is a
+*tunable* (cache sizes, latencies, queue depths, epoch triggers) lives in
+:mod:`repro.common.config` instead; this module only holds quantities that
+the address-map and codec layers treat as fixed by the architecture.
+"""
+
+from __future__ import annotations
+
+#: Size of one cache block / memory line in bytes.  All traffic between the
+#: LLC, the memory controller and the NVM moves in units of this size.
+CACHE_LINE_SIZE = 64
+
+#: log2(CACHE_LINE_SIZE); used for fast address-to-line conversions.
+CACHE_LINE_BITS = 6
+
+#: Size of one page in bytes.  One counter line covers one data page.
+PAGE_SIZE = 4096
+
+#: log2(PAGE_SIZE).
+PAGE_BITS = 12
+
+#: Number of data blocks per page (PAGE_SIZE / CACHE_LINE_SIZE).
+BLOCKS_PER_PAGE = PAGE_SIZE // CACHE_LINE_SIZE
+
+#: HMAC codeword width used throughout the design, in bytes (128-bit,
+#: Section 5: "The HMAC is 128-bit codewords").
+HMAC_SIZE = 16
+
+#: Number of child HMACs one 64 B Merkle-tree node can hold; this fixes the
+#: tree arity ("thus the Merkle Tree is 4-ary").
+MERKLE_ARITY = CACHE_LINE_SIZE // HMAC_SIZE
+
+#: Split-counter layout inside one 64 B counter line: one 64-bit major
+#: counter shared by the page plus one 7-bit minor counter per data block
+#: (64 blocks/page).  8 + 64 * 7 / 8 = 64 bytes exactly.
+MAJOR_COUNTER_BYTES = 8
+MINOR_COUNTER_BITS = 7
+MINOR_COUNTER_MAX = (1 << MINOR_COUNTER_BITS) - 1
+
+#: Default modeled NVM capacity (16 GB, Section 5).
+DEFAULT_NVM_CAPACITY = 16 << 30
+
+#: Levels of the Bonsai Merkle Tree for the default 16 GB device, counting
+#: the counter-line leaf level and the on-chip root (Section 2.3 / 5.2:
+#: "12 layers for a 16 GB NVM with 128-bit HMAC").
+DEFAULT_MERKLE_LEVELS = 12

@@ -1,0 +1,154 @@
+"""Hierarchical statistics registry.
+
+Every hardware component in the model (caches, NVM device, drainer,
+encryption engine, ...) owns a :class:`StatGroup` and registers named
+counters and distributions on it.  Groups nest, so the full-system report
+reads like gem5's ``stats.txt``::
+
+    system.llc.misses                4211
+    system.nvm.writes.data           10234
+    system.nvm.writes.merkle         1201
+
+The registry is intentionally dependency-free and cheap: counters are plain
+ints bumped through :meth:`Counter.inc`, and nothing is computed until a
+report is requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Counter:
+    """A monotonically growing integer statistic."""
+
+    __slots__ = ("name", "desc", "value")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1) to the counter."""
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Distribution:
+    """Streaming min/max/mean/count aggregate of observed samples."""
+
+    __slots__ = ("name", "desc", "count", "total", "min", "max")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+        self.reset()
+
+    def sample(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Forget all samples."""
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Distribution({self.name}: n={self.count}, mean={self.mean:.3f})"
+
+
+@dataclass
+class StatGroup:
+    """A named collection of statistics and child groups."""
+
+    name: str
+    counters: dict[str, Counter] = field(default_factory=dict)
+    distributions: dict[str, Distribution] = field(default_factory=dict)
+    children: dict[str, "StatGroup"] = field(default_factory=dict)
+
+    def counter(self, name: str, desc: str = "") -> Counter:
+        """Return the counter *name*, creating it on first use."""
+        stat = self.counters.get(name)
+        if stat is None:
+            stat = Counter(name, desc)
+            self.counters[name] = stat
+        return stat
+
+    def distribution(self, name: str, desc: str = "") -> Distribution:
+        """Return the distribution *name*, creating it on first use."""
+        stat = self.distributions.get(name)
+        if stat is None:
+            stat = Distribution(name, desc)
+            self.distributions[name] = stat
+        return stat
+
+    def group(self, name: str) -> "StatGroup":
+        """Return the child group *name*, creating it on first use."""
+        child = self.children.get(name)
+        if child is None:
+            child = StatGroup(name)
+            self.children[name] = child
+        return child
+
+    def reset(self) -> None:
+        """Recursively reset every statistic in this subtree."""
+        for stat in self.counters.values():
+            stat.reset()
+        for dist in self.distributions.values():
+            dist.reset()
+        for child in self.children.values():
+            child.reset()
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, Counter | Distribution]]:
+        """Yield ``(dotted_path, stat)`` for every stat in this subtree."""
+        base = f"{prefix}{self.name}" if prefix or self.name else self.name
+        for stat in self.counters.values():
+            yield f"{base}.{stat.name}", stat
+        for dist in self.distributions.values():
+            yield f"{base}.{dist.name}", dist
+        for child in self.children.values():
+            yield from child.walk(f"{base}." if base else "")
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten to ``{dotted_path: value}`` (distributions report mean)."""
+        result: dict[str, float] = {}
+        for path, stat in self.walk():
+            if isinstance(stat, Counter):
+                result[path] = stat.value
+            else:
+                result[path] = stat.mean
+        return result
+
+    def report(self) -> str:
+        """Human-readable, gem5-style stat dump for this subtree."""
+        lines = []
+        for path, stat in sorted(self.walk()):
+            if isinstance(stat, Counter):
+                lines.append(f"{path:<60} {stat.value}")
+            else:
+                lines.append(
+                    f"{path:<60} n={stat.count} mean={stat.mean:.4f}"
+                    f" min={stat.min if stat.count else 0}"
+                    f" max={stat.max if stat.count else 0}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Attack injection against the untrusted NVM image.
+
+Implements the threat model's adversary (Section 2.1): a man-in-the-middle
+with full read/write access to everything outside the TCB — the NVM
+contents and all off-chip traffic.  Three integrity-attack primitives are
+provided, each operating directly on the :class:`NVMDevice` backdoor (no
+traffic accounting — the attacker is not part of the machine):
+
+* **spoofing** — overwrite a value in place (data block, data HMAC,
+  counter line or tree node);
+* **splicing** — move a (data block, data HMAC) pair from one address to
+  another;
+* **replay** — restore a previously captured version of any line set
+  (data+HMAC, a counter line, or a whole tree path).
+
+The confidentiality adversary is a read: :meth:`Attacker.observe` returns
+raw ciphertext, and the test suite checks it carries no plaintext.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.address import line_align
+from repro.common.constants import HMAC_SIZE
+from repro.mem.nvm import NVMDevice
+from repro.metadata.layout import MemoryLayout, MerkleNodeId
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A point-in-time capture of the NVM image (attacker's recording)."""
+
+    image: dict[int, bytes]
+
+    def line(self, nvm: NVMDevice, addr: int) -> bytes:
+        """The captured value of one line (genesis if untouched then)."""
+        captured = self.image.get(addr)
+        return captured if captured is not None else nvm.virgin(addr)
+
+
+class Attacker:
+    """Man-in-the-middle with full access to the NVM image."""
+
+    def __init__(self, nvm: NVMDevice) -> None:
+        self.nvm = nvm
+        self.layout: MemoryLayout = nvm.layout
+
+    # -- observation (confidentiality attack) --------------------------------------
+
+    def observe(self, addr: int) -> bytes:
+        """Steal one line of raw NVM contents (always ciphertext)."""
+        return self.nvm.peek(line_align(addr))
+
+    # -- spoofing ---------------------------------------------------------------------
+
+    def spoof_data(self, addr: int, xor_mask: int = 0x01) -> None:
+        """Corrupt one byte of a data block in place."""
+        line_addr = line_align(addr)
+        old = self.nvm.peek(line_addr)
+        self.nvm.poke(line_addr, bytes([old[0] ^ xor_mask]) + old[1:])
+
+    def spoof_data_hmac(self, addr: int, xor_mask: int = 0x01) -> None:
+        """Corrupt the stored data HMAC of one block."""
+        line_addr, offset = self.layout.data_hmac_location(addr)
+        old = self.nvm.peek(line_addr)
+        flipped = bytes([old[offset] ^ xor_mask])
+        self.nvm.poke(line_addr, old[:offset] + flipped + old[offset + 1:])
+
+    def spoof_counter_line(self, data_addr: int, xor_mask: int = 0x01) -> None:
+        """Corrupt the counter line covering one data address."""
+        addr = self.layout.counter_line_addr(data_addr)
+        old = self.nvm.peek(addr)
+        self.nvm.poke(addr, bytes([old[0] ^ xor_mask]) + old[1:])
+
+    def spoof_tree_node(self, node: MerkleNodeId, xor_mask: int = 0x01) -> None:
+        """Corrupt one internal Merkle-tree node."""
+        addr = self.layout.merkle_node_addr(node)
+        old = self.nvm.peek(addr)
+        self.nvm.poke(addr, bytes([old[0] ^ xor_mask]) + old[1:])
+
+    # -- splicing ---------------------------------------------------------------------
+
+    def splice_data(self, src_addr: int, dst_addr: int) -> None:
+        """Substitute *dst*'s (data, data HMAC) with *src*'s pair.
+
+        The classic relocation attack: both values are individually
+        authentic, just at the wrong address.
+        """
+        src, dst = line_align(src_addr), line_align(dst_addr)
+        self.nvm.poke(dst, self.nvm.peek(src))
+        src_line, src_off = self.layout.data_hmac_location(src)
+        dst_line, dst_off = self.layout.data_hmac_location(dst)
+        code = self.nvm.peek(src_line)[src_off:src_off + HMAC_SIZE]
+        old = self.nvm.peek(dst_line)
+        self.nvm.poke(
+            dst_line, old[:dst_off] + code + old[dst_off + HMAC_SIZE:]
+        )
+
+    # -- replay ------------------------------------------------------------------------
+
+    def record(self) -> Snapshot:
+        """Capture the current NVM image for later replay."""
+        return Snapshot(self.nvm.snapshot())
+
+    def replay_data(self, snapshot: Snapshot, addr: int) -> None:
+        """Restore one block's (data, data HMAC) pair from *snapshot*."""
+        line_addr = line_align(addr)
+        self.nvm.poke(line_addr, snapshot.line(self.nvm, line_addr))
+        hmac_line, offset = self.layout.data_hmac_location(line_addr)
+        old_line = snapshot.line(self.nvm, hmac_line)
+        cur = self.nvm.peek(hmac_line)
+        self.nvm.poke(
+            hmac_line,
+            cur[:offset] + old_line[offset:offset + HMAC_SIZE]
+            + cur[offset + HMAC_SIZE:],
+        )
+
+    def replay_counter_line(self, snapshot: Snapshot, data_addr: int) -> None:
+        """Restore the counter line covering *data_addr* from *snapshot*."""
+        addr = self.layout.counter_line_addr(data_addr)
+        self.nvm.poke(addr, snapshot.line(self.nvm, addr))
+
+    def replay_tree_node(self, snapshot: Snapshot, node: MerkleNodeId) -> None:
+        """Restore one internal tree node from *snapshot*."""
+        addr = self.layout.merkle_node_addr(node)
+        self.nvm.poke(addr, snapshot.line(self.nvm, addr))
+
+    def replay_path(self, snapshot: Snapshot, data_addr: int) -> None:
+        """Restore a block's data, HMAC, counter line and whole tree path.
+
+        The strongest replay: every stored value a verifier could consult
+        is rolled back coherently; only the TCB roots (out of reach) and
+        the Nwb register stand between this and success.
+        """
+        self.replay_data(snapshot, data_addr)
+        self.replay_counter_line(snapshot, data_addr)
+        leaf = self.layout.counter_leaf_index(data_addr)
+        for node in self.layout.ancestors_of_leaf(leaf):
+            if node.level < self.layout.root_level:
+                self.replay_tree_node(snapshot, node)

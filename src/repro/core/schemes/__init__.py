@@ -1,0 +1,75 @@
+"""The five evaluated secure-NVM designs (Section 5).
+
+========================  =========================================================
+registry name             design
+========================  =========================================================
+``no_cc``                 w/o Crash-Consistency — the normalization baseline
+``sc``                    Strict Consistency — atomic metadata flush per write-back
+``osiris_plus``           Osiris Plus — ECC-style counter restoration
+``ccnvm_no_ds``           cc-NVM without deferred spreading
+``ccnvm``                 cc-NVM — the paper's full design
+``ccnvm_locate``          cc-NVM + Section 4.4's extension registers, which
+                          additionally *locate* in-epoch replays
+========================  =========================================================
+"""
+
+from __future__ import annotations
+
+from repro.common.config import SystemConfig
+from repro.common.stats import StatGroup
+from repro.core.schemes.base import SecureNVMScheme
+from repro.core.schemes.ccnvm import (
+    CcNVM,
+    CcNVMWithLocateRegisters,
+    CcNVMWithoutDeferredSpreading,
+)
+from repro.core.schemes.no_cc import WithoutCrashConsistency
+from repro.core.schemes.osiris import OsirisPlus
+from repro.core.schemes.strict import StrictConsistency
+
+#: Registry of design name -> scheme class.
+SCHEMES: dict[str, type[SecureNVMScheme]] = {
+    "no_cc": WithoutCrashConsistency,
+    "sc": StrictConsistency,
+    "osiris_plus": OsirisPlus,
+    "ccnvm_no_ds": CcNVMWithoutDeferredSpreading,
+    "ccnvm": CcNVM,
+    "ccnvm_locate": CcNVMWithLocateRegisters,
+}
+
+#: Display labels matching the paper's figures.
+SCHEME_LABELS: dict[str, str] = {
+    "no_cc": "w/o CC",
+    "sc": "SC",
+    "osiris_plus": "Osiris Plus",
+    "ccnvm_no_ds": "cc-NVM w/o DS",
+    "ccnvm": "cc-NVM",
+    "ccnvm_locate": "cc-NVM + locate registers",
+}
+
+
+def create_scheme(
+    name: str,
+    config: SystemConfig | None = None,
+    data_capacity: int | None = None,
+    seed: int | str = 0,
+    stats: StatGroup | None = None,
+) -> SecureNVMScheme:
+    """Instantiate a design by registry name."""
+    if name not in SCHEMES:
+        raise ValueError(f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}")
+    return SCHEMES[name](config or SystemConfig(), data_capacity, seed, stats)
+
+
+__all__ = [
+    "SCHEMES",
+    "SCHEME_LABELS",
+    "SecureNVMScheme",
+    "CcNVM",
+    "CcNVMWithLocateRegisters",
+    "CcNVMWithoutDeferredSpreading",
+    "OsirisPlus",
+    "StrictConsistency",
+    "WithoutCrashConsistency",
+    "create_scheme",
+]

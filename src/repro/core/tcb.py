@@ -1,0 +1,99 @@
+"""Trusted computing base state.
+
+Holds everything the threat model places inside the processor chip:
+
+* the secret encryption and HMAC keys;
+* the Merkle-tree root registers.  cc-NVM keeps **two** persistent root
+  registers (Section 4.2): ``root_new`` tracks the up-to-date tree held in
+  the meta cache, while ``root_old`` is advanced only when an epoch commits
+  and therefore always matches the consistent tree image in NVM;
+* ``nwb`` — the 64-bit persistent register counting write-back events since
+  the last committed drain (Section 4.3), used at recovery to detect the
+  replay window deferred spreading opens.
+
+Persistent registers survive a crash; everything else on chip (cache
+contents, in-flight state) is lost.  :meth:`TCB.crash` models exactly
+that split.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import CACHE_LINE_SIZE, MERKLE_ARITY
+from repro.crypto.prf import SecretKey
+
+
+class TCB:
+    """On-chip secure state: keys and persistent registers."""
+
+    def __init__(
+        self,
+        encryption_key: SecretKey,
+        hmac_key: SecretKey,
+        genesis_root: bytes,
+    ) -> None:
+        if len(genesis_root) != CACHE_LINE_SIZE:
+            raise ValueError("the root register holds one 64 B root node")
+        self.encryption_key = encryption_key
+        self.hmac_key = hmac_key
+        #: Root of the newest (possibly cache-only) tree state.
+        self.root_new = bytes(genesis_root)
+        #: Root matching the consistent tree image committed to NVM.
+        self.root_old = bytes(genesis_root)
+        #: Write-back events since the last committed drain.
+        self.nwb = 0
+        #: Optional extension registers (Section 4.4's closing remark):
+        #: per dirty counter line, the update count since the last commit.
+        #: Bounded by the dirty-address-queue depth; persistent.  Filled
+        #: only by designs built with ``locate_registers=True``.
+        self.counter_log: dict[int, int] = {}
+
+    # -- root register manipulation ------------------------------------------------
+
+    def update_root_new(self, slot: int, hmac: bytes) -> None:
+        """Replace one child HMAC inside ``root_new``."""
+        from repro.metadata.merkle import write_slot
+
+        if not 0 <= slot < MERKLE_ARITY:
+            raise ValueError(f"root slot {slot} out of range")
+        self.root_new = write_slot(self.root_new, slot, hmac)
+
+    def set_root_new(self, root: bytes) -> None:
+        """Overwrite ``root_new`` wholesale (recovery / full recompute)."""
+        if len(root) != CACHE_LINE_SIZE:
+            raise ValueError("the root register holds one 64 B root node")
+        self.root_new = bytes(root)
+
+    def commit_root(self) -> None:
+        """Epoch commit: ``root_old`` catches up with ``root_new``."""
+        self.root_old = self.root_new
+        self.nwb = 0
+        self.counter_log.clear()
+
+    def set_roots(self, root: bytes) -> None:
+        """Set both registers to *root* (post-recovery reset)."""
+        self.set_root_new(root)
+        self.root_old = self.root_new
+        self.nwb = 0
+        self.counter_log.clear()
+
+    # -- write-back accounting -------------------------------------------------------
+
+    def count_writeback(self) -> None:
+        """Record one write-back event for the Nwb register."""
+        self.nwb += 1
+
+    def log_counter_update(self, counter_addr: int) -> None:
+        """Extension registers: count one update of a dirty counter line."""
+        self.counter_log[counter_addr] = self.counter_log.get(counter_addr, 0) + 1
+
+    # -- crash semantics ----------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Model a power failure.
+
+        Keys, the three persistent registers (``root_new``, ``root_old``,
+        ``nwb``) and the optional extension register file survive; the
+        TCB holds no other state, so this is deliberately a no-op —
+        defined explicitly to document the persistence contract in one
+        place.
+        """

@@ -1,0 +1,79 @@
+"""Counter-mode encryption (CME) of memory lines.
+
+Every 64 B block evicted from the LLC is XORed with a one-time pad (OTP)
+derived from a secret key and a *seed*; the seed is the block's physical
+address concatenated with its encryption counter (Section 2.2).  Seed
+uniqueness — and therefore pad uniqueness — is guaranteed by (1) mapping
+different blocks to different (address, counter) pairs and (2) bumping the
+counter on every write-back.
+
+The model uses the split-counter convention: the effective counter of a
+block is the pair ``(major, minor)`` where ``major`` is shared by the whole
+page and ``minor`` is per-block (see :mod:`repro.metadata.counters`).  Both
+are folded into the seed, so a minor-counter overflow that bumps the major
+counter re-keys every block of the page.
+"""
+
+from __future__ import annotations
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.crypto.prf import SecretKey, prf
+
+
+def make_seed(address: int, major: int, minor: int) -> bytes:
+    """Serialize the CME seed for one block.
+
+    The encoding is fixed-width so distinct (address, major, minor) triples
+    can never alias.
+    """
+    if address < 0 or major < 0 or minor < 0:
+        raise ValueError("seed components must be non-negative")
+    return (
+        address.to_bytes(8, "little")
+        + major.to_bytes(8, "little")
+        + minor.to_bytes(2, "little")
+    )
+
+
+def generate_otp(key: SecretKey, address: int, major: int, minor: int) -> bytes:
+    """Generate the 64 B one-time pad for a block (models the AES engine)."""
+    return prf(key, make_seed(address, major, minor), out_len=CACHE_LINE_SIZE)
+
+
+def xor_bytes(data: bytes, pad: bytes) -> bytes:
+    """XOR two equal-length byte strings."""
+    if len(data) != len(pad):
+        raise ValueError(f"length mismatch: {len(data)} vs {len(pad)}")
+    return bytes(a ^ b for a, b in zip(data, pad))
+
+
+class CounterModeCipher:
+    """Stateless encrypt/decrypt helper bound to one encryption key.
+
+    Counter management is *not* handled here — callers (the encryption
+    engine) own the counter store; the cipher only turns (plaintext,
+    address, counter) into ciphertext and back.  Encryption and decryption
+    are the same XOR operation, which is exactly what makes CME's
+    read-latency hiding work: the pad can be computed while the data line
+    is still in flight from memory.
+    """
+
+    def __init__(self, key: SecretKey) -> None:
+        self._key = key
+
+    @property
+    def key(self) -> SecretKey:
+        """The encryption key (TCB-internal)."""
+        return self._key
+
+    def encrypt(self, plaintext: bytes, address: int, major: int, minor: int) -> bytes:
+        """Encrypt one 64 B block with its (major, minor) counter pair."""
+        if len(plaintext) != CACHE_LINE_SIZE:
+            raise ValueError("CME operates on whole cache lines")
+        return xor_bytes(plaintext, generate_otp(self._key, address, major, minor))
+
+    def decrypt(self, ciphertext: bytes, address: int, major: int, minor: int) -> bytes:
+        """Decrypt one 64 B block; inverse of :meth:`encrypt`."""
+        if len(ciphertext) != CACHE_LINE_SIZE:
+            raise ValueError("CME operates on whole cache lines")
+        return xor_bytes(ciphertext, generate_otp(self._key, address, major, minor))

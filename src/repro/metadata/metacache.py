@@ -1,0 +1,283 @@
+"""The meta cache: verified on-chip caching of counters and tree nodes.
+
+The paper places a shared 128 KB, 8-way cache at the L2 level that holds
+both encryption counter lines and Merkle-tree nodes (Section 5).  A line
+resident here has been authenticated on the way in (or was produced by the
+TCB itself) and is therefore *trusted*: integrity verification of a child
+can stop as soon as an ancestor is found in this cache — "the cached tree
+nodes have already been verified and their security is guaranteed being
+on-chip" (Section 2.2).  Exactly this property also powers cc-NVM's
+deferred spreading.
+
+:class:`MetadataStore` wraps the cache with:
+
+* **verified loads** — a miss walks the Merkle path upward, reading
+  uncached ancestors from NVM until it reaches a cached (trusted) node or
+  the TCB root register, then verifies downward and installs every node as
+  clean+verified.  A mismatch raises :class:`IntegrityError` — runtime
+  attack detection;
+* **scheme-pluggable eviction policy** — cc-NVM must drain the epoch
+  *before* a dirty metadata line leaves the cache (trigger 2), while
+  conventional designs lazily propagate the victim's HMAC to its parent
+  and write the victim back.  Both hooks are injected by the owning
+  scheme;
+* **timing accounting** — every load reports the cycles it cost (meta-
+  cache hit latency, NVM reads, HMAC checks) so schemes can charge it to
+  the write-back or read path.
+
+Counter lines are cached *decoded* (as :class:`CounterLine`), tree nodes
+as raw 64 B values; :meth:`MetadataStore.encoded` renders either for NVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+from repro.common.config import SystemConfig
+from repro.common.stats import StatGroup
+from repro.crypto.hmac_engine import HmacEngine
+from repro.core.tcb import TCB
+from repro.mem.cache import Cache, CacheLine
+from repro.mem.nvm import NVMDevice
+from repro.metadata.counters import CounterLine
+from repro.metadata.genesis import GenesisImage
+from repro.metadata.layout import MemoryLayout, MerkleNodeId
+from repro.metadata.merkle import read_slot
+
+T = TypeVar("T")
+
+
+class IntegrityError(Exception):
+    """An integrity check failed — an attack was detected at runtime."""
+
+    def __init__(self, message: str, node: MerkleNodeId | None = None) -> None:
+        super().__init__(message)
+        #: The tree node whose verification failed, when known.
+        self.node = node
+
+
+@dataclass(frozen=True)
+class AccessResult(Generic[T]):
+    """Outcome of one metadata load: the value, its cost, hit/miss."""
+
+    value: T
+    cycles: int
+    hit: bool
+
+
+class MetadataStore:
+    """Verified meta cache over the counter and Merkle regions."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        cache: Cache,
+        nvm: NVMDevice,
+        engine: HmacEngine,
+        tcb: TCB,
+        genesis: GenesisImage,
+        stats: StatGroup | None = None,
+    ) -> None:
+        self.config = config
+        self.cache = cache
+        self.nvm = nvm
+        self.layout: MemoryLayout = nvm.layout
+        self.engine = engine
+        self.tcb = tcb
+        self.genesis = genesis
+        self._hit_latency = config.security.meta_cache.hit_latency
+        self._read_cycles = config.nvm_read_cycles
+        self._hmac_cycles = config.security.hmac_latency_cycles
+        self._stats = stats if stats is not None else StatGroup("metastore")
+        self._verify_walks = self._stats.distribution(
+            "verify_walk_levels", "uncached levels walked per verified miss"
+        )
+        self._integrity_failures = self._stats.counter("integrity_failures")
+        #: Called with a dirty victim *before* it would be evicted; the
+        #: scheme may clean it (cc-NVM: drain the epoch).
+        self.pre_evict: Callable[[CacheLine], None] | None = None
+        #: Called with a victim that left the cache still dirty; the
+        #: scheme must make it durable (lazy propagate + NVM write).
+        self.on_dirty_evict: Callable[[CacheLine], None] | None = None
+        #: Depth of in-flight verification walks.  Schemes consult this
+        #: to defer epoch drains: a drain rewrites NVM lines, which would
+        #: invalidate the walk's point-in-time snapshots.
+        self.walk_depth = 0
+        #: Write-back overlay: newest encoded values of dirty lines that
+        #: were evicted but whose NVM copy is *not yet* current (they are
+        #: waiting for an epoch commit or an atomic batch).  Loads consult
+        #: this before NVM so a stale image is never re-verified against
+        #: an already-updated parent.  Values here originated on-chip and
+        #: are therefore trusted without a verification walk.
+        self.overlay: dict[int, bytes] = {}
+
+    @property
+    def stats(self) -> StatGroup:
+        """Verification statistics."""
+        return self._stats
+
+    # -- encode/decode ---------------------------------------------------------------
+
+    def encoded(self, line: CacheLine) -> bytes:
+        """64 B NVM image of a cached metadata line."""
+        if isinstance(line.data, CounterLine):
+            return line.data.encode()
+        if isinstance(line.data, (bytes, bytearray)):
+            return bytes(line.data)
+        raise TypeError(f"unexpected meta cache payload: {type(line.data)!r}")
+
+    # -- installation with eviction policy ----------------------------------------------
+
+    def install(self, addr: int, value: object, dirty: bool, verified: bool) -> CacheLine:
+        """Insert *value* at *addr*, honouring the scheme's eviction hooks."""
+        victim = self.cache.would_evict(addr)
+        if victim is not None and victim.dirty and self.pre_evict is not None:
+            self.pre_evict(victim)
+        victim = self.cache.fill(addr, value, dirty)
+        if victim is not None and victim.dirty:
+            if self.on_dirty_evict is None:
+                raise RuntimeError(
+                    "dirty metadata evicted with no write-back policy installed"
+                )
+            self.on_dirty_evict(victim)
+        line = self.cache.probe(addr)
+        line.verified = line.verified or verified
+        return line
+
+    # -- raw NVM decode ---------------------------------------------------------------
+
+    def _decode(self, addr: int, raw: bytes) -> object:
+        if self.layout.region_of(addr) == "counter":
+            return CounterLine.decode(raw)
+        return raw
+
+    # -- verified loads ----------------------------------------------------------------
+
+    def load_verified(self, addr: int) -> AccessResult:
+        """Load the metadata line at *addr*, authenticating it if uncached.
+
+        On a miss, reads the line and every uncached ancestor from NVM,
+        verifies the chain top-down starting from the first trusted
+        ancestor (a cached node, or the TCB ``root_new`` register), and
+        installs all of it as clean+verified.  Raises
+        :class:`IntegrityError` on any mismatch, naming the offending
+        node — runtime detection *and location* of integrity attacks.
+        """
+        line = self.cache.access(addr)
+        if line is not None:
+            return AccessResult(line.data, self._hit_latency, True)
+
+        pending = self.overlay.pop(addr, None)
+        if pending is not None:
+            installed = self.install(
+                addr, self._decode(addr, pending), dirty=True, verified=True
+            )
+            return AccessResult(installed.data, self._hit_latency, False)
+
+        layout = self.layout
+        target = layout.node_of_addr(addr)
+        self.walk_depth += 1
+        try:
+            return self._walk_and_verify(addr, target)
+        finally:
+            self.walk_depth -= 1
+
+    def _walk_and_verify(self, addr: int, target: MerkleNodeId) -> AccessResult:
+        layout = self.layout
+        # Collect the uncached suffix of the path: target first, upward.
+        chain: list[tuple[MerkleNodeId, int, bytes]] = []
+        node = target
+        node_addr = addr
+        cycles = self._hit_latency  # the lookup that missed
+        while True:
+            raw = self.nvm.read_line(node_addr)
+            cycles += self._read_cycles
+            chain.append((node, node_addr, raw))
+            if node.level + 1 == layout.num_levels:
+                trusted_slot_source = None  # verify topmost against TCB root
+                break
+            parent = layout.parent_of(node)
+            if parent.level == layout.root_level:
+                trusted_slot_source = None
+                break
+            parent_addr = layout.merkle_node_addr(parent)
+            parent_line = self.cache.access(parent_addr)
+            if parent_line is not None:
+                cycles += self._hit_latency
+                trusted_slot_source = parent_line.data
+                break
+            pending = self.overlay.pop(parent_addr, None)
+            if pending is not None:
+                # The parent's newest value was evicted into the overlay
+                # (its commit is still pending).  It originated on-chip,
+                # so it is trusted exactly like a cached ancestor; its
+                # stale NVM copy must not be read instead.
+                installed = self.install(
+                    parent_addr,
+                    self._decode(parent_addr, pending),
+                    dirty=True,
+                    verified=True,
+                )
+                cycles += self._hit_latency
+                trusted_slot_source = installed.data
+                break
+            node = parent
+            node_addr = parent_addr
+        self._verify_walks.sample(len(chain))
+
+        # Verify top-down: the topmost fetched node against the trusted
+        # source, then each fetched node against the one above it.
+        for i in range(len(chain) - 1, -1, -1):
+            node, node_addr, raw = chain[i]
+            slot = layout.slot_in_parent(node)
+            if i == len(chain) - 1:
+                if trusted_slot_source is None:
+                    stored = read_slot(self.tcb.root_new, slot)
+                else:
+                    stored = read_slot(bytes(trusted_slot_source), slot)
+            else:
+                stored = read_slot(chain[i + 1][2], slot)
+            computed = self.engine.counter_hmac(raw)
+            cycles += self._hmac_cycles
+            if not self.engine.verify(stored, computed):
+                self._integrity_failures.inc()
+                raise IntegrityError(
+                    f"counter HMAC mismatch at level {node.level}, "
+                    f"index {node.index} (addr {node_addr:#x})",
+                    node=node,
+                )
+            existing = self.cache.probe(node_addr)
+            if existing is not None:
+                # A nested eviction's lazy propagation (re)installed —
+                # and possibly updated — this node while the walk was in
+                # flight; the on-chip copy is newer than our NVM
+                # snapshot and must not be clobbered.
+                existing.verified = True
+                continue
+            self.install(node_addr, self._decode(node_addr, raw), dirty=False, verified=True)
+
+        return AccessResult(self.cache.probe(addr).data, cycles, False)
+
+    def load_counter(self, data_addr: int) -> AccessResult:
+        """Verified load of the counter line covering *data_addr*'s page."""
+        return self.load_verified(self.layout.counter_line_addr(data_addr))
+
+    def load_node(self, node: MerkleNodeId) -> AccessResult:
+        """Verified load of one tree node (leaf or internal)."""
+        return self.load_verified(self.layout.merkle_node_addr(node))
+
+    # -- unverified state inspection ----------------------------------------------------
+
+    def probe(self, addr: int) -> CacheLine | None:
+        """Presence check without LRU/statistics effects."""
+        return self.cache.probe(addr)
+
+    def dirty_addresses(self) -> list[int]:
+        """Addresses of every dirty line currently resident (sorted)."""
+        return sorted(line.addr for line in self.cache.dirty_lines())
+
+    def crash(self) -> None:
+        """Power failure: all volatile meta-cache contents are lost."""
+        self.cache.drop_all()
+        self.overlay.clear()

@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for the test suite.
+
+Tests run on deliberately small devices (64 KB – 1 MB data regions) so
+whole-image operations (tree rebuilds, recovery scans) stay fast; the
+geometry logic is identical to the paper's 16 GB device, which dedicated
+tests cover arithmetically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    ControllerConfig,
+    EpochConfig,
+    NVMConfig,
+    SecurityConfig,
+    SystemConfig,
+)
+
+#: 64 KB data region: 16 pages, 3-level tree (16 -> 4 -> 1).
+TINY_CAPACITY = 1 << 16
+
+#: 1 MB data region: 256 pages, 5-level tree.
+SMALL_CAPACITY = 1 << 20
+
+
+def small_config(
+    meta_kb: int = 16,
+    update_limit: int = 16,
+    dirty_queue_entries: int = 32,
+    wpq_entries: int = 64,
+) -> SystemConfig:
+    """A down-scaled system config that still exercises every mechanism.
+
+    Small caches force evictions (and therefore drain trigger 2 and the
+    lazy write-back paths) with traces of a few hundred references.
+    """
+    return SystemConfig(
+        l1=CacheConfig(size_bytes=1024, associativity=2, hit_latency=2, name="l1"),
+        l2=CacheConfig(size_bytes=4096, associativity=4, hit_latency=20, name="l2"),
+        nvm=NVMConfig(capacity_bytes=SMALL_CAPACITY),
+        controller=ControllerConfig(wpq_entries=wpq_entries),
+        security=SecurityConfig(
+            meta_cache=CacheConfig(
+                size_bytes=meta_kb * 1024,
+                associativity=4,
+                hit_latency=32,
+                name="meta",
+                hashed_sets=True,
+            )
+        ),
+        epoch=EpochConfig(
+            dirty_queue_entries=dirty_queue_entries,
+            update_limit=update_limit,
+        ),
+    )
+
+
+@pytest.fixture
+def config():
+    """Default down-scaled config."""
+    return small_config()
+
+
+ALL_SCHEMES = ["no_cc", "sc", "osiris_plus", "ccnvm_no_ds", "ccnvm"]
+CONSISTENT_SCHEMES = ["sc", "osiris_plus", "ccnvm_no_ds", "ccnvm"]
+
+
+def payload(tag: int) -> bytes:
+    """A distinctive 64 B test payload."""
+    return bytes([tag % 256]) * 64

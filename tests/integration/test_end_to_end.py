@@ -1,0 +1,145 @@
+"""End-to-end functional tests: every design round-trips real data
+through encryption, the cache hierarchy, NVM residency and recovery."""
+
+import random
+
+import pytest
+
+from repro import SecureMemory
+from repro.core.schemes import create_scheme
+from tests.conftest import ALL_SCHEMES, CONSISTENT_SCHEMES, SMALL_CAPACITY, payload, small_config
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+class TestRoundTrips:
+    def test_single_block(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=1)
+        s.writeback(0, 0x1000, payload(1))
+        data, _ = s.read(100, 0x1000)
+        assert data == payload(1)
+
+    def test_many_blocks_random_order(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=2)
+        rng = random.Random(42)
+        written = {}
+        t = 0
+        for i in range(300):
+            addr = rng.randrange(SMALL_CAPACITY // 64) * 64
+            s.writeback(t, addr, payload(i))
+            written[addr] = payload(i)
+            t += 500
+        for addr, expected in written.items():
+            data, _ = s.read(t, addr)
+            assert data == expected
+            t += 500
+
+    def test_repeated_overwrites(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=3)
+        t = 0
+        for i in range(40):
+            s.writeback(t, 0x2000, payload(i))
+            t += 500
+        data, _ = s.read(t, 0x2000)
+        assert data == payload(39)
+
+    def test_flush_then_graceful_restart(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=4)
+        t = 0
+        for i in range(60):
+            s.writeback(t, 0x1000 + (i % 10) * 4096, payload(i))
+            t += 500
+        s.flush()
+        s.crash()  # after a clean flush a crash must be harmless
+        report = s.recover()
+        assert report.success
+        assert report.clean
+        for i in range(50, 60):
+            data, _ = s.read(t, 0x1000 + (i % 10) * 4096)
+            assert data == payload(i)
+            t += 500
+
+    def test_ciphertext_never_plaintext(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=5)
+        secret = bytes([0xD5]) * 64
+        s.writeback(0, 0x3000, secret)
+        assert s.nvm.peek(0x3000) != secret
+
+
+@pytest.mark.parametrize("scheme", CONSISTENT_SCHEMES)
+class TestCrashDurability:
+    def test_writebacks_survive_mid_epoch_crash(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=6)
+        t = 0
+        written = {}
+        for i in range(120):
+            addr = 0x4000 + (i % 25) * 4096
+            s.writeback(t, addr, payload(i))
+            written[addr] = payload(i)
+            t += 500
+        s.crash()  # no flush: counters may be stale in NVM
+        report = s.recover()
+        assert report.success, report
+        assert report.clean
+        for addr, expected in written.items():
+            data, _ = s.read(t, addr)
+            assert data == expected
+            t += 500
+
+    def test_double_crash_recover(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=7)
+        t = 0
+        for i in range(50):
+            s.writeback(t, 0x5000 + (i % 7) * 4096, payload(i))
+            t += 500
+        s.crash()
+        assert s.recover().success
+        # Write more after recovery, crash again.
+        for i in range(50, 80):
+            s.writeback(t, 0x5000 + (i % 7) * 4096, payload(i))
+            t += 500
+        s.crash()
+        assert s.recover().success
+        data, _ = s.read(t, 0x5000 + (79 % 7) * 4096)
+        assert data == payload(79)
+
+    def test_recovery_reports_retries_for_stale_counters(self, scheme, config):
+        if scheme == "sc":
+            pytest.skip("SC counters are never stale")
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=8)
+        s.flush()
+        t = 0
+        for i in range(5):
+            s.writeback(t, 0x6000, payload(i))
+            t += 500
+        s.crash()
+        report = s.recover()
+        assert report.success
+        assert report.total_retries >= 1
+        assert report.recovered_blocks >= 1
+
+
+class TestNoCcFailsAfterCrash:
+    """The paper's motivation: without crash consistency, a crash loses
+    the freshest counters beyond any recoverable bound."""
+
+    def test_unrecoverable_after_deep_updates(self, config):
+        s = create_scheme("no_cc", config, SMALL_CAPACITY, seed=9)
+        s.flush()  # NVM consistent here
+        t = 0
+        # Update one block far beyond the N=16 retry courtesy bound,
+        # keeping the counter line cached (no evictions).
+        for i in range(40):
+            s.writeback(t, 0x7000, payload(i))
+            t += 500
+        s.crash()
+        report = s.recover()
+        assert not report.success
+        assert 0x7000 in report.unrecoverable_blocks
+
+    def test_facade_equivalent(self, config):
+        mem = SecureMemory("no_cc", config, SMALL_CAPACITY, seed=10)
+        for i in range(40):
+            mem.store(0x7000, payload(i))
+            mem.persist(0x7000, 64)
+        mem.crash()
+        assert not mem.recover().success

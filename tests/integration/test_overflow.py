@@ -1,0 +1,109 @@
+"""Split-counter minor overflow: page re-encryption, forced commits, and
+crash recovery across a major-counter bump."""
+
+import pytest
+
+from repro.common.constants import MINOR_COUNTER_MAX
+from repro.core.schemes import create_scheme
+from repro.metadata.counters import CounterLine
+from tests.conftest import CONSISTENT_SCHEMES, SMALL_CAPACITY, payload, small_config
+
+
+PAGE = 0x4000  # an arbitrary page base in the 1 MB device
+
+
+def drive_to_overflow(s, block_addr, preload=True):
+    """Saturate one block's minor counter, then trigger the overflow."""
+    t = 0
+    if preload:
+        # Give a neighbour block some data so re-encryption moves real bytes.
+        s.writeback(t, PAGE + 64, payload(200))
+        t += 500
+    counter_addr = s.layout.counter_line_addr(block_addr)
+    s.meta.load_counter(block_addr)
+    line = s.meta.probe(counter_addr)
+    block = s.layout.block_slot(block_addr)
+    line.data.minors[block] = MINOR_COUNTER_MAX  # fast-forward 127 updates
+    s.writeback(t, block_addr, payload(99))  # the 128th increment
+    return t + 500
+
+
+@pytest.mark.parametrize("scheme", CONSISTENT_SCHEMES)
+class TestOverflowFunctional:
+    def test_page_rekeyed_and_readable(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=1)
+        t = drive_to_overflow(s, PAGE)
+        assert s.engine.stats.counter("page_reencryptions").value == 1
+        # Both the trigger block and the re-encrypted neighbour read back.
+        assert s.read(t, PAGE)[0] == payload(99)
+        assert s.read(t + 500, PAGE + 64)[0] == payload(200)
+
+    def test_major_advanced_minors_reset(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=1)
+        drive_to_overflow(s, PAGE)
+        line = s.meta.load_counter(PAGE).value
+        assert line.major == 1
+        block = s.layout.block_slot(PAGE)
+        assert line.minors[block] == 1  # trigger block got a fresh minor
+        assert line.minors[2] == 0
+
+    def test_overflow_survives_crash(self, scheme, config):
+        s = create_scheme(scheme, config, SMALL_CAPACITY, seed=1)
+        t = drive_to_overflow(s, PAGE)
+        s.crash()
+        report = s.recover()
+        assert report.success, report
+        assert s.read(t, PAGE)[0] == payload(99)
+        assert s.read(t + 500, PAGE + 64)[0] == payload(200)
+
+
+class TestOverflowCommitsImmediately:
+    def test_ccnvm_drains_on_overflow(self, config):
+        s = create_scheme("ccnvm", config, SMALL_CAPACITY, seed=2)
+        drive_to_overflow(s, PAGE)
+        assert s.queue.drains_by_trigger()["overflow"] == 1
+        # The rolled counter is durable: stored major is already 1.
+        stored = CounterLine.decode(s.nvm.peek(s.layout.counter_line_addr(PAGE)))
+        assert stored.major == 1
+
+    def test_osiris_flushes_rolled_counter(self, config):
+        s = create_scheme("osiris_plus", config, SMALL_CAPACITY, seed=2)
+        drive_to_overflow(s, PAGE)
+        stored = CounterLine.decode(s.nvm.peek(s.layout.counter_line_addr(PAGE)))
+        assert stored.major == 1
+
+
+class TestRecoveryAcrossMajorBump:
+    def test_recovery_normalizes_interrupted_rekey(self, config):
+        """Crash with the counter line still at the old major: recovery
+        must find the re-encrypted blocks past the bump and roll the page
+        forward coherently."""
+        s = create_scheme("ccnvm", config, SMALL_CAPACITY, seed=3)
+        t = drive_to_overflow(s, PAGE)
+        # Manufacture the crash window: replay the counter region line to
+        # its pre-overflow state (major 0), as if the drain never landed,
+        # while data and HMACs (normal WPQ writes) did.
+        old = CounterLine()
+        old.minors[s.layout.block_slot(PAGE + 64)] = 1  # neighbour's one write
+        old.minors[s.layout.block_slot(PAGE)] = MINOR_COUNTER_MAX
+        s.nvm.poke(s.layout.counter_line_addr(PAGE), old.encode())
+        s.crash()
+        report = s.recover()
+        assert report.majors_rolled >= 1
+        stored = CounterLine.decode(s.nvm.peek(s.layout.counter_line_addr(PAGE)))
+        assert stored.major == 1
+        # Every block decrypts and authenticates after normalization.
+        assert s.read(t, PAGE)[0] == payload(99)
+        assert s.read(t + 500, PAGE + 64)[0] == payload(200)
+
+    def test_nwb_check_skipped_when_major_rolled(self, config):
+        s = create_scheme("ccnvm", config, SMALL_CAPACITY, seed=3)
+        drive_to_overflow(s, PAGE)
+        old = CounterLine()
+        old.minors[s.layout.block_slot(PAGE + 64)] = 1
+        old.minors[s.layout.block_slot(PAGE)] = MINOR_COUNTER_MAX
+        s.nvm.poke(s.layout.counter_line_addr(PAGE), old.encode())
+        s.crash()
+        report = s.recover()
+        assert any("Nwb" in note for note in report.notes)
+        assert not report.potential_replay_detected

@@ -1,0 +1,126 @@
+"""Full-system simulation coherence: the trace pipeline drives real
+functional state, and the paper's first-order comparisons emerge from it."""
+
+import pytest
+
+from repro.sim.runner import run_design_comparison, run_simulation
+from repro.workloads import synthetic
+from repro.workloads.spec import spec_trace
+from tests.conftest import SMALL_CAPACITY, small_config
+
+
+@pytest.fixture(scope="module")
+def write_heavy_comparison():
+    trace = synthetic.sequential_stream(
+        length=800, footprint=1 << 17, write_ratio=0.5, mem_gap=6, seed=3,
+        name="stream-w",
+    )
+    return run_design_comparison(
+        trace, config=small_config(), data_capacity=SMALL_CAPACITY
+    )
+
+
+class TestPaperShape:
+    """Down-scaled sanity versions of Figure 5's orderings (full-scale
+    reproductions live in benchmarks/)."""
+
+    def test_sc_has_most_writes(self, write_heavy_comparison):
+        cmp = write_heavy_comparison
+        others = ("no_cc", "osiris_plus", "ccnvm_no_ds", "ccnvm")
+        assert all(
+            cmp.normalized_writes("sc") > cmp.normalized_writes(o) for o in others
+        )
+
+    def test_osiris_writes_near_baseline(self, write_heavy_comparison):
+        assert write_heavy_comparison.normalized_writes("osiris_plus") < 1.3
+
+    def test_ccnvm_writes_above_osiris_below_sc(self, write_heavy_comparison):
+        cmp = write_heavy_comparison
+        assert (
+            cmp.normalized_writes("osiris_plus")
+            <= cmp.normalized_writes("ccnvm")
+            < cmp.normalized_writes("sc")
+        )
+
+    def test_ccnvm_fastest_consistent_design(self, write_heavy_comparison):
+        cmp = write_heavy_comparison
+        for other in ("sc", "osiris_plus", "ccnvm_no_ds"):
+            assert cmp.normalized_ipc("ccnvm") >= cmp.normalized_ipc(other)
+
+    def test_baseline_is_upper_bound(self, write_heavy_comparison):
+        cmp = write_heavy_comparison
+        for scheme in ("sc", "osiris_plus", "ccnvm_no_ds", "ccnvm"):
+            assert cmp.normalized_ipc(scheme) <= 1.001
+
+    def test_ds_reduces_hmac_computations(self, write_heavy_comparison):
+        cmp = write_heavy_comparison
+        assert (
+            cmp.results["ccnvm"].counter_hmacs
+            < cmp.results["ccnvm_no_ds"].counter_hmacs
+        )
+
+    def test_identical_functional_work(self, write_heavy_comparison):
+        # Every design retires the same trace: same LLC write-back count.
+        wbs = {r.llc_writebacks for r in write_heavy_comparison.results.values()}
+        assert len(wbs) == 1
+
+
+class TestFunctionalCoherenceUnderSimulation:
+    def test_crash_midrun_then_recover_and_continue(self):
+        """Simulate, crash without flushing, recover, keep simulating."""
+        from repro.core.schemes import create_scheme
+        from repro.sim.cpu import TraceCPU
+        from repro.sim.system import MemoryHierarchy
+
+        config = small_config()
+        scheme = create_scheme("ccnvm", config, SMALL_CAPACITY, seed=5)
+        memory = MemoryHierarchy(config, scheme)
+        cpu = TraceCPU(config, memory)
+        first = synthetic.hotspot(
+            length=400, footprint=1 << 16, write_ratio=0.5, seed=1, name="a"
+        )
+        cpu.run(first)
+        memory.crash()
+        report = scheme.recover()
+        assert report.success
+        second = synthetic.hotspot(
+            length=400, footprint=1 << 16, write_ratio=0.5, seed=2, name="b"
+        )
+        result = cpu.run(second)  # must not raise IntegrityError
+        assert result.instructions > 0
+
+    def test_sensitivity_direction_update_limit(self):
+        """Figure 6(a)'s direction: larger N -> fewer drains, fewer writes."""
+        trace = synthetic.hotspot(
+            length=700, footprint=1 << 15, write_ratio=0.5, seed=4
+        )
+        small_n = run_simulation(
+            "ccnvm", trace, small_config(update_limit=2), SMALL_CAPACITY
+        )
+        large_n = run_simulation(
+            "ccnvm", trace, small_config(update_limit=32), SMALL_CAPACITY
+        )
+        assert large_n.epochs < small_n.epochs
+        assert large_n.nvm_writes <= small_n.nvm_writes
+
+    def test_sensitivity_direction_queue_entries(self):
+        """Figure 6(b)'s direction: larger M -> longer epochs."""
+        trace = synthetic.random_uniform(
+            length=700, footprint=1 << 18, write_ratio=0.5, seed=4
+        )
+        small_m = run_simulation(
+            "ccnvm", trace, small_config(dirty_queue_entries=8), SMALL_CAPACITY
+        )
+        large_m = run_simulation(
+            "ccnvm", trace, small_config(dirty_queue_entries=64), SMALL_CAPACITY
+        )
+        assert large_m.epochs < small_m.epochs
+        assert large_m.nvm_writes <= small_m.nvm_writes
+
+    def test_spec_profile_runs_end_to_end(self):
+        # gcc's surrogate footprint is 4 MB; give the device room.
+        result = run_simulation(
+            "ccnvm", spec_trace("gcc", 600, seed=1), small_config(), 16 << 20
+        )
+        assert result.ipc > 0
+        assert result.workload == "gcc"

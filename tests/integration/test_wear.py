@@ -1,0 +1,81 @@
+"""NVM endurance: write amplification "negatively impacts NVM lifetime"
+(Section 5.2).  Beyond aggregate traffic, *where* the writes land matters
+for wear: SC hammers the hot pages' metadata lines on every write-back,
+while cc-NVM's epochs cap any metadata line at one write per drain."""
+
+import random
+
+import pytest
+
+from repro.core.schemes import create_scheme
+from tests.conftest import SMALL_CAPACITY, small_config
+
+
+def run_hot_workload(scheme_name, config, writebacks=300):
+    scheme = create_scheme(scheme_name, config, SMALL_CAPACITY, seed=17)
+    rng = random.Random(3)
+    t = 0
+    for i in range(writebacks):
+        addr = rng.randrange(4) * 4096 + rng.randrange(8) * 64  # hot set
+        scheme.writeback(t, addr, bytes([i % 256]) * 64)
+        t += 400
+    scheme.flush()
+    return scheme
+
+
+@pytest.fixture(scope="module")
+def machines():
+    config = small_config()
+    return {
+        name: run_hot_workload(name, config)
+        for name in ("no_cc", "sc", "osiris_plus", "ccnvm")
+    }
+
+
+def hottest_metadata_write_count(scheme):
+    layout = scheme.layout
+    return max(
+        (
+            scheme.nvm.write_count(addr)
+            for addr in scheme.nvm.touched_lines()
+            if layout.region_of(addr) in ("counter", "merkle")
+        ),
+        default=0,
+    )
+
+
+class TestMetadataWear:
+    def test_sc_wears_metadata_hardest(self, machines):
+        sc = hottest_metadata_write_count(machines["sc"])
+        for name in ("no_cc", "osiris_plus", "ccnvm"):
+            assert sc > hottest_metadata_write_count(machines[name]), name
+
+    def test_sc_metadata_wear_tracks_writebacks(self, machines):
+        # Every write-back rewrites the hot counter line and the shared
+        # top-of-tree nodes: wear ~ number of write-backs.
+        assert hottest_metadata_write_count(machines["sc"]) >= 250
+
+    def test_ccnvm_caps_metadata_wear_per_epoch(self, machines):
+        scheme = machines["ccnvm"]
+        epochs = scheme.queue.total_drains
+        # One write per line per drain is the cap; overflow-free run.
+        assert hottest_metadata_write_count(scheme) <= epochs
+
+    def test_epoch_amortization_factor(self, machines):
+        """The wear advantage equals the epoch length in write-backs."""
+        scheme = machines["ccnvm"]
+        per_epoch = scheme.queue.stats.distribution("epoch_writebacks").mean
+        sc_wear = hottest_metadata_write_count(machines["sc"])
+        ccnvm_wear = hottest_metadata_write_count(scheme)
+        assert sc_wear / max(1, ccnvm_wear) > per_epoch / 2
+
+    def test_data_wear_identical_across_designs(self, machines):
+        """Designs only differ in metadata wear; data wear is workload-set."""
+        reference = {
+            addr: machines["ccnvm"].nvm.write_count(addr)
+            for addr in machines["ccnvm"].nvm.touched_lines()
+            if machines["ccnvm"].layout.region_of(addr) == "data"
+        }
+        for name, scheme in machines.items():
+            for addr, count in reference.items():
+                assert scheme.nvm.write_count(addr) == count, (name, hex(addr))

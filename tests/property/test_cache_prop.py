@@ -1,0 +1,133 @@
+"""Model-based property tests: the set-associative cache against a
+reference LRU implementation."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import Cache
+
+
+class ReferenceLRU:
+    """Oracle: per-set OrderedDict LRU with identical semantics."""
+
+    def __init__(self, sets, ways):
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.ways = ways
+        self.num_sets = sets
+
+    def _set(self, addr):
+        return self.sets[(addr >> 6) % self.num_sets]
+
+    def access(self, addr):
+        s = self._set(addr)
+        if addr in s:
+            s.move_to_end(addr)
+            return True
+        return False
+
+    def fill(self, addr):
+        s = self._set(addr)
+        if addr in s:
+            s.move_to_end(addr)
+            return None
+        victim = None
+        if len(s) >= self.ways:
+            victim, _ = s.popitem(last=False)
+        s[addr] = True
+        return victim
+
+    def contents(self):
+        return sorted(addr for s in self.sets for addr in s)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "fill", "invalidate"]),
+        st.integers(min_value=0, max_value=63).map(lambda i: i * 64),
+    ),
+    max_size=200,
+)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_cache_matches_reference_lru(operations):
+    config = CacheConfig(size_bytes=4 * 4 * 64, associativity=4, hit_latency=1)
+    cache = Cache(config)
+    oracle = ReferenceLRU(config.num_sets, config.associativity)
+
+    for op, addr in operations:
+        if op == "access":
+            assert (cache.access(addr) is not None) == oracle.access(addr)
+        elif op == "fill":
+            victim = cache.fill(addr)
+            expected = oracle.fill(addr)
+            assert (victim.addr if victim else None) == expected
+        else:
+            cache.invalidate(addr)
+            oracle._set(addr).pop(addr, None)
+        assert sorted(l.addr for l in cache.lines()) == oracle.contents()
+        assert cache.occupancy <= config.num_lines
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_would_evict_predicts_fill(operations):
+    config = CacheConfig(size_bytes=2 * 4 * 64, associativity=2, hit_latency=1)
+    cache = Cache(config)
+    for op, addr in operations:
+        predicted = cache.would_evict(addr)
+        victim = cache.fill(addr)
+        if victim is None:
+            assert predicted is None
+        else:
+            assert predicted is victim
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31).map(lambda i: i * 64),
+            st.booleans(),
+        ),
+        max_size=120,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_dirty_bit_is_sticky_until_cleaned(fills):
+    config = CacheConfig(size_bytes=8 * 64, associativity=8, hit_latency=1)
+    cache = Cache(config)
+    expected_dirty: dict[int, bool] = {}
+    for addr, dirty in fills:
+        victim = cache.fill(addr, dirty=dirty)
+        if victim is not None:
+            assert expected_dirty.pop(victim.addr) == victim.dirty
+        expected_dirty[addr] = expected_dirty.get(addr, False) or dirty
+    for line in cache.lines():
+        assert line.dirty == expected_dirty[line.addr]
+    assert {l.addr for l in cache.dirty_lines()} == {
+        a for a, d in expected_dirty.items() if d and cache.probe(a)
+    }
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_hashed_and_plain_indexing_agree_on_contents(line_indexes):
+    """Set hashing only permutes placement — hit behaviour on a
+    fully-associative-sized working set is index-scheme independent."""
+    plain = Cache(CacheConfig(size_bytes=64 * 64, associativity=64, hit_latency=1))
+    hashed = Cache(
+        CacheConfig(
+            size_bytes=64 * 64, associativity=64, hit_latency=1, hashed_sets=True
+        )
+    )
+    for index in line_indexes:
+        addr = index * 64
+        plain.fill(addr)
+        hashed.fill(addr)
+    assert sorted(l.addr for l in plain.lines()) == sorted(
+        l.addr for l in hashed.lines()
+    )

@@ -1,0 +1,101 @@
+"""Property-based tests for the crypto substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.crypto.cme import CounterModeCipher, make_seed
+from repro.crypto.hmac_engine import HmacEngine
+from repro.crypto.prf import SecretKey, keyed_hash, prf
+
+
+KEY = SecretKey.from_seed("prop-key")
+CIPHER = CounterModeCipher(KEY)
+ENGINE = HmacEngine(KEY)
+
+lines = st.binary(min_size=CACHE_LINE_SIZE, max_size=CACHE_LINE_SIZE)
+addrs = st.integers(min_value=0, max_value=(1 << 34)).map(lambda a: a & ~63)
+majors = st.integers(min_value=0, max_value=(1 << 64) - 1)
+minor_values = st.integers(min_value=0, max_value=127)
+
+
+@given(lines, addrs, majors, minor_values)
+def test_encrypt_decrypt_roundtrip(data, addr, major, minor):
+    ct = CIPHER.encrypt(data, addr, major, minor)
+    assert CIPHER.decrypt(ct, addr, major, minor) == data
+
+
+@given(lines, addrs, majors, minor_values)
+@settings(max_examples=50)
+def test_encryption_changes_data(data, addr, major, minor):
+    # A 64-byte pad collision with the plaintext has probability 2^-512.
+    assert CIPHER.encrypt(data, addr, major, minor) != data
+
+
+@given(lines, addrs, majors, minor_values)
+def test_wrong_minor_garbles(data, addr, major, minor):
+    ct = CIPHER.encrypt(data, addr, major, minor)
+    assert CIPHER.decrypt(ct, addr, major, (minor + 1) % 128) != data
+
+
+@given(lines, lines, addrs, majors, minor_values)
+@settings(max_examples=50)
+def test_xor_malleability_is_why_hmacs_exist(a, b, addr, major, minor):
+    """CME is malleable (bit flips pass through); the data HMAC is the
+    integrity mechanism, so flipping ciphertext must break it."""
+    ct = CIPHER.encrypt(a, addr, major, minor)
+    code = ENGINE.data_hmac(ct, addr, major, minor)
+    flipped = bytes([ct[0] ^ 0x01]) + ct[1:]
+    assert ENGINE.data_hmac(flipped, addr, major, minor) != code
+
+
+@given(addrs, majors, minor_values)
+def test_seed_uniqueness_over_components(addr, major, minor):
+    base = make_seed(addr, major, minor)
+    assert make_seed(addr + 64, major, minor) != base
+    assert make_seed(addr, major + 1, minor) != base
+    assert make_seed(addr, major, (minor + 1) % 128) != base or minor == 127
+
+
+@given(st.binary(max_size=128), st.binary(max_size=128))
+@settings(max_examples=60)
+def test_prf_injective_encoding(a, b):
+    if a != b:
+        assert prf(KEY, a) != prf(KEY, b)
+
+
+@given(st.binary(max_size=64), st.integers(min_value=1, max_value=256))
+def test_prf_output_length_exact(message, out_len):
+    assert len(prf(KEY, message, out_len=out_len)) == out_len
+
+
+@given(st.binary(max_size=64))
+def test_prf_prefix_stability(message):
+    """Longer outputs extend shorter ones (counter-mode expansion)."""
+    short = prf(KEY, message, out_len=16)
+    long = prf(KEY, message, out_len=64)
+    assert long[:16] == short
+
+
+@given(lines, addrs, majors, minor_values)
+def test_data_hmac_deterministic(data, addr, major, minor):
+    assert ENGINE.data_hmac(data, addr, major, minor) == ENGINE.data_hmac(
+        data, addr, major, minor
+    )
+
+
+@given(lines, addrs, addrs, majors, minor_values)
+@settings(max_examples=60)
+def test_data_hmac_address_binding(data, addr_a, addr_b, major, minor):
+    """The splicing defence: same data at two addresses never shares a code."""
+    if addr_a != addr_b:
+        assert ENGINE.data_hmac(data, addr_a, major, minor) != ENGINE.data_hmac(
+            data, addr_b, major, minor
+        )
+
+
+@given(st.binary(max_size=96), st.binary(max_size=96))
+@settings(max_examples=60)
+def test_keyed_hash_collision_freedom_on_distinct_messages(a, b):
+    if a != b:
+        assert keyed_hash(KEY, a) != keyed_hash(KEY, b)

@@ -1,0 +1,96 @@
+"""Property-based tests for the dirty address queue and the WPQ."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.drainer import DirtyAddressQueue, DrainTrigger
+from repro.mem.nvm import NVMDevice
+from repro.mem.wpq import WritePendingQueue
+from repro.metadata.layout import MemoryLayout
+
+
+addr_lists = st.lists(
+    st.integers(min_value=0, max_value=30).map(lambda i: i * 64), max_size=12
+)
+
+
+@given(st.lists(addr_lists, max_size=15))
+@settings(max_examples=100, deadline=None)
+def test_queue_never_exceeds_capacity_and_never_duplicates(batches):
+    queue = DirtyAddressQueue(16)
+    for batch in batches:
+        if queue.fits(batch):
+            queue.reserve(batch)
+        else:
+            queue.commit(DrainTrigger.QUEUE_FULL)
+            queue.reserve(batch) if queue.fits(batch) else None
+        addrs = queue.addresses()
+        assert len(addrs) == len(set(addrs))
+        assert len(addrs) <= 16
+
+
+@given(st.lists(addr_lists, min_size=1, max_size=10))
+@settings(max_examples=100, deadline=None)
+def test_commit_returns_exactly_the_reserved_set(batches):
+    queue = DirtyAddressQueue(256)
+    expected: list[int] = []
+    for batch in batches:
+        for a in batch:
+            if a not in expected:
+                expected.append(a)
+        queue.reserve(batch)
+    assert queue.commit(DrainTrigger.FLUSH) == expected
+    assert len(queue) == 0
+
+
+@given(addr_lists)
+@settings(max_examples=100, deadline=None)
+def test_fits_is_exact(batch):
+    queue = DirtyAddressQueue(4)
+    distinct = len(set(batch))
+    assert queue.fits(batch) == (distinct <= 4)
+
+
+wpq_programs = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.integers(0, 15)),
+        st.tuples(st.just("atomic"), st.lists(st.integers(0, 15), max_size=6)),
+        st.tuples(st.just("crashed_atomic"), st.lists(st.integers(0, 15), max_size=6)),
+    ),
+    max_size=12,
+)
+
+
+@given(wpq_programs)
+@settings(max_examples=100, deadline=None)
+def test_wpq_durability_model(program):
+    """Normal writes and committed batches are durable; a crashed batch
+    vanishes entirely — modeled against a plain dict."""
+    nvm = NVMDevice(MemoryLayout(1 << 20))
+    wpq = WritePendingQueue(nvm, entries=8)
+    shadow: dict[int, bytes] = {}
+    marker = 0
+    for op, payload_arg in program:
+        marker += 1
+        if op == "write":
+            value = bytes([marker % 256]) * 64
+            wpq.write(payload_arg * 64, value)
+            shadow[payload_arg * 64] = value
+        elif op == "atomic":
+            wpq.begin_atomic()
+            for i, slot in enumerate(payload_arg):
+                value = bytes([(marker + i) % 256]) * 64
+                wpq.write_atomic(slot * 64, value)
+                shadow[slot * 64] = value
+            wpq.commit_atomic()
+        else:  # crashed_atomic
+            wpq.begin_atomic()
+            for i, slot in enumerate(payload_arg):
+                wpq.write_atomic(slot * 64, bytes([0xEE]) * 64)
+            wpq.power_failure()  # batch dropped wholesale
+    for addr, value in shadow.items():
+        assert nvm.peek(addr) == value
+    # Nothing from crashed batches may have leaked.
+    for addr in range(0, 16 * 64, 64):
+        if addr not in shadow:
+            assert nvm.peek(addr) == bytes(64)

@@ -1,0 +1,114 @@
+"""Property-based tests for the sparse Merkle-tree operations."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac_engine import HmacEngine
+from repro.crypto.prf import SecretKey
+from repro.mem.nvm import NVMDevice
+from repro.metadata.counters import CounterLine
+from repro.metadata.genesis import GenesisImage
+from repro.metadata.layout import MemoryLayout, MerkleNodeId
+from repro.metadata.merkle import MerkleTree
+
+
+ENC = SecretKey.from_seed("mp-enc")
+MAC = SecretKey.from_seed("mp-mac")
+CAPACITY = 1 << 18  # 64 pages, 4 levels
+LAYOUT = MemoryLayout(CAPACITY)
+GENESIS = GenesisImage(LAYOUT, ENC, MAC)
+
+
+def make_tree():
+    nvm = NVMDevice(LAYOUT, initializer=GENESIS.line)
+    return MerkleTree(nvm, HmacEngine(MAC), GENESIS)
+
+
+counter_updates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=LAYOUT.num_pages - 1),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=1, max_value=127),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def apply_updates(tree, updates):
+    for leaf, block, minor in updates:
+        addr = tree.layout.merkle_node_addr(MerkleNodeId(0, leaf))
+        line = CounterLine.decode(tree.nvm.peek(addr))
+        line.minors[block] = minor
+        tree.nvm.poke(addr, line.encode())
+
+
+@given(counter_updates)
+@settings(max_examples=40, deadline=None)
+def test_build_always_restores_consistency(updates):
+    tree = make_tree()
+    apply_updates(tree, updates)
+    root = tree.build()
+    assert tree.verify_consistent(root)
+    assert tree.find_mismatches(root) == []
+
+
+@given(counter_updates)
+@settings(max_examples=40, deadline=None)
+def test_compute_root_equals_build_without_side_effects(updates):
+    tree = make_tree()
+    apply_updates(tree, updates)
+    computed = tree.compute_root()
+    assert computed == tree.build()
+
+
+@given(counter_updates, counter_updates)
+@settings(max_examples=30, deadline=None)
+def test_distinct_counter_states_produce_distinct_roots(first, second):
+    tree_a = make_tree()
+    apply_updates(tree_a, first)
+    tree_b = make_tree()
+    apply_updates(tree_b, second)
+    counters_a = [
+        tree_a.nvm.peek(tree_a.layout.merkle_node_addr(MerkleNodeId(0, i)))
+        for i in range(LAYOUT.num_pages)
+    ]
+    counters_b = [
+        tree_b.nvm.peek(tree_b.layout.merkle_node_addr(MerkleNodeId(0, i)))
+        for i in range(LAYOUT.num_pages)
+    ]
+    if counters_a != counters_b:
+        assert tree_a.build() != tree_b.build()
+    else:
+        assert tree_a.build() == tree_b.build()
+
+
+@given(
+    counter_updates,
+    st.integers(min_value=0, max_value=LAYOUT.num_pages - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_any_single_counter_corruption_is_located(updates, victim):
+    tree = make_tree()
+    apply_updates(tree, updates)
+    root = tree.build()
+    addr = tree.layout.merkle_node_addr(MerkleNodeId(0, victim))
+    raw = tree.nvm.peek(addr)
+    tree.nvm.poke(addr, bytes([raw[0] ^ 0x40]) + raw[1:])
+    mismatches = tree.find_mismatches(root)
+    assert any(e.child == MerkleNodeId(0, victim) for e in mismatches)
+
+
+@given(counter_updates, st.integers(min_value=1, max_value=2), st.data())
+@settings(max_examples=40, deadline=None)
+def test_any_internal_node_corruption_is_detected(updates, level, data):
+    tree = make_tree()
+    apply_updates(tree, updates)
+    root = tree.build()
+    index = data.draw(
+        st.integers(min_value=0, max_value=LAYOUT.level_counts[level] - 1)
+    )
+    addr = tree.layout.merkle_node_addr(MerkleNodeId(level, index))
+    raw = tree.nvm.peek(addr)
+    tree.nvm.poke(addr, bytes([raw[0] ^ 0x40]) + raw[1:])
+    assert not tree.verify_consistent(root)

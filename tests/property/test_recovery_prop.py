@@ -1,0 +1,95 @@
+"""Property-based tests of the recovery soundness/completeness boundary.
+
+Soundness: a clean crash (any write-back stream, any crash point) never
+produces attack findings.  Completeness: any single tampering of a
+touched line is reported.  Both hold for arbitrary generated histories.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.attacks import Attacker
+from repro.core.schemes import create_scheme
+from tests.conftest import small_config
+
+
+CAPACITY = 1 << 18  # 64 pages
+
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),  # page
+        st.integers(min_value=0, max_value=7),  # block
+        st.integers(min_value=0, max_value=255),  # payload tag
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run_stream(stream, seed=0, scheme_name="ccnvm"):
+    scheme = create_scheme(
+        scheme_name, small_config(update_limit=8), CAPACITY, seed=seed
+    )
+    t = 0
+    for page, block, tag in stream:
+        scheme.writeback(t, page * 4096 + block * 64, bytes([tag]) * 64)
+        t += 400
+    return scheme
+
+
+@given(streams, st.booleans())
+@settings(max_examples=50, deadline=None)
+def test_clean_crashes_never_alarm(stream, flush_first):
+    scheme = run_stream(stream)
+    if flush_first:
+        scheme.flush()
+    scheme.crash()
+    report = scheme.recover()
+    assert report.success
+    assert report.clean
+    assert report.findings == []
+
+
+@given(streams, st.integers(min_value=0, max_value=2**32), st.data())
+@settings(max_examples=50, deadline=None)
+def test_any_data_spoof_is_reported(stream, _salt, data):
+    scheme = run_stream(stream, seed=1)
+    written = sorted({p * 4096 + b * 64 for p, b, _ in stream})
+    victim = data.draw(st.sampled_from(written))
+    Attacker(scheme.nvm).spoof_data(victim, xor_mask=data.draw(
+        st.integers(min_value=1, max_value=255)
+    ))
+    scheme.crash()
+    report = scheme.recover()
+    assert not report.clean
+    assert any(
+        f.kind == "data_tampering" and f.address == victim
+        for f in report.findings
+    )
+
+
+@given(streams, st.data())
+@settings(max_examples=50, deadline=None)
+def test_any_hmac_spoof_is_reported(stream, data):
+    scheme = run_stream(stream, seed=2)
+    written = sorted({p * 4096 + b * 64 for p, b, _ in stream})
+    victim = data.draw(st.sampled_from(written))
+    Attacker(scheme.nvm).spoof_data_hmac(victim)
+    scheme.crash()
+    report = scheme.recover()
+    assert any(
+        f.kind == "data_tampering" and f.address == victim
+        for f in report.findings
+    )
+
+
+@given(streams)
+@settings(max_examples=30, deadline=None)
+def test_locate_registers_stay_silent_on_clean_crashes(stream):
+    """The extension must not trade false positives for its location
+    power: clean crashes at arbitrary epoch positions raise nothing."""
+    scheme = run_stream(stream, seed=3, scheme_name="ccnvm_locate")
+    scheme.crash()
+    report = scheme.recover()
+    assert report.success
+    assert report.clean

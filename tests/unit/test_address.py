@@ -1,0 +1,81 @@
+"""Unit tests for address arithmetic helpers."""
+
+import pytest
+
+from repro.common import address
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+
+
+class TestLineMath:
+    def test_line_align_already_aligned(self):
+        assert address.line_align(0) == 0
+        assert address.line_align(128) == 128
+
+    def test_line_align_rounds_down(self):
+        assert address.line_align(65) == 64
+        assert address.line_align(127) == 64
+
+    def test_line_offset(self):
+        assert address.line_offset(64) == 0
+        assert address.line_offset(70) == 6
+        assert address.line_offset(127) == 63
+
+    def test_line_index_roundtrip(self):
+        for addr in (0, 64, 4096, 123456 * 64):
+            assert address.line_address(address.line_index(addr)) == addr
+
+    def test_line_index_of_unaligned(self):
+        assert address.line_index(65) == 1
+        assert address.line_index(63) == 0
+
+    def test_is_line_aligned(self):
+        assert address.is_line_aligned(0)
+        assert address.is_line_aligned(CACHE_LINE_SIZE * 7)
+        assert not address.is_line_aligned(1)
+        assert not address.is_line_aligned(CACHE_LINE_SIZE + 63)
+
+
+class TestPageMath:
+    def test_page_align(self):
+        assert address.page_align(0) == 0
+        assert address.page_align(PAGE_SIZE - 1) == 0
+        assert address.page_align(PAGE_SIZE) == PAGE_SIZE
+        assert address.page_align(PAGE_SIZE + 17) == PAGE_SIZE
+
+    def test_page_index_roundtrip(self):
+        for idx in (0, 1, 57, 4095):
+            assert address.page_index(address.page_address(idx)) == idx
+
+    def test_block_in_page_range(self):
+        assert address.block_in_page(0) == 0
+        assert address.block_in_page(63) == 0
+        assert address.block_in_page(64) == 1
+        assert address.block_in_page(PAGE_SIZE - 1) == 63
+        assert address.block_in_page(PAGE_SIZE) == 0
+
+    def test_block_in_page_mid_page(self):
+        addr = PAGE_SIZE * 3 + 17 * CACHE_LINE_SIZE + 5
+        assert address.block_in_page(addr) == 17
+
+
+class TestLinesCovering:
+    def test_zero_size_touches_nothing(self):
+        assert address.lines_covering(100, 0) == []
+
+    def test_negative_size_touches_nothing(self):
+        assert address.lines_covering(100, -4) == []
+
+    def test_single_byte(self):
+        assert address.lines_covering(70, 1) == [64]
+
+    def test_whole_line(self):
+        assert address.lines_covering(64, 64) == [64]
+
+    def test_straddles_boundary(self):
+        assert address.lines_covering(60, 8) == [0, 64]
+
+    def test_spans_many_lines(self):
+        assert address.lines_covering(0, 200) == [0, 64, 128, 192]
+
+    def test_exact_end_does_not_spill(self):
+        assert address.lines_covering(0, 128) == [0, 64]

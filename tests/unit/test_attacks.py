@@ -1,0 +1,144 @@
+"""Unit tests for the attack-injection primitives."""
+
+import pytest
+
+from repro.common.constants import HMAC_SIZE
+from repro.core.attacks import Attacker
+from repro.crypto.prf import SecretKey
+from repro.mem.nvm import NVMDevice
+from repro.metadata.genesis import GenesisImage
+from repro.metadata.layout import MemoryLayout, MerkleNodeId
+
+
+@pytest.fixture
+def attacker():
+    layout = MemoryLayout(1 << 20)
+    genesis = GenesisImage(
+        layout, SecretKey.from_seed("a-enc"), SecretKey.from_seed("a-mac")
+    )
+    nvm = NVMDevice(layout, initializer=genesis.line)
+    return Attacker(nvm)
+
+
+class TestObservation:
+    def test_observe_returns_stored_bytes(self, attacker):
+        attacker.nvm.poke(64, bytes([7]) * 64)
+        assert attacker.observe(64) == bytes([7]) * 64
+
+    def test_observe_line_aligns(self, attacker):
+        attacker.nvm.poke(64, bytes([7]) * 64)
+        assert attacker.observe(100) == bytes([7]) * 64
+
+    def test_observation_leaves_no_traffic(self, attacker):
+        attacker.observe(0)
+        assert attacker.nvm.total_reads == 0
+
+
+class TestSpoofing:
+    def test_spoof_data_flips_one_byte(self, attacker):
+        before = attacker.nvm.peek(0)
+        attacker.spoof_data(0, xor_mask=0x80)
+        after = attacker.nvm.peek(0)
+        assert after[0] == before[0] ^ 0x80
+        assert after[1:] == before[1:]
+
+    def test_spoof_data_hmac_targets_the_block_slot(self, attacker):
+        layout = attacker.layout
+        line_addr, offset = layout.data_hmac_location(3 * 64)
+        before = attacker.nvm.peek(line_addr)
+        attacker.spoof_data_hmac(3 * 64)
+        after = attacker.nvm.peek(line_addr)
+        assert after[offset] == before[offset] ^ 0x01
+        # Neighbouring HMAC slots untouched.
+        assert after[:offset] == before[:offset]
+        assert after[offset + 1:] == before[offset + 1:]
+
+    def test_spoof_counter_line(self, attacker):
+        addr = attacker.layout.counter_line_addr(4096)
+        before = attacker.nvm.peek(addr)
+        attacker.spoof_counter_line(4096)
+        assert attacker.nvm.peek(addr) != before
+
+    def test_spoof_tree_node(self, attacker):
+        node = MerkleNodeId(1, 0)
+        addr = attacker.layout.merkle_node_addr(node)
+        before = attacker.nvm.peek(addr)
+        attacker.spoof_tree_node(node)
+        assert attacker.nvm.peek(addr) != before
+
+
+class TestSplicing:
+    def test_splice_moves_data_and_hmac(self, attacker):
+        attacker.nvm.poke(0, bytes([1]) * 64)
+        attacker.nvm.poke(4096, bytes([2]) * 64)
+        src_line, src_off = attacker.layout.data_hmac_location(0)
+        attacker.nvm.poke(
+            src_line, bytes([0xAA]) * 64
+        )
+        attacker.splice_data(0, 4096)
+        assert attacker.nvm.peek(4096) == bytes([1]) * 64
+        dst_line, dst_off = attacker.layout.data_hmac_location(4096)
+        assert (
+            attacker.nvm.peek(dst_line)[dst_off:dst_off + HMAC_SIZE]
+            == bytes([0xAA]) * HMAC_SIZE
+        )
+
+    def test_splice_leaves_source_alone(self, attacker):
+        attacker.nvm.poke(0, bytes([1]) * 64)
+        attacker.splice_data(0, 4096)
+        assert attacker.nvm.peek(0) == bytes([1]) * 64
+
+
+class TestReplay:
+    def test_replay_data_restores_old_pair(self, attacker):
+        attacker.nvm.poke(64, bytes([1]) * 64)
+        snap = attacker.record()
+        attacker.nvm.poke(64, bytes([2]) * 64)
+        attacker.replay_data(snap, 64)
+        assert attacker.nvm.peek(64) == bytes([1]) * 64
+
+    def test_replay_data_restores_only_that_blocks_hmac(self, attacker):
+        layout = attacker.layout
+        line_addr, offset = layout.data_hmac_location(64)
+        attacker.nvm.poke(line_addr, bytes(range(64)))
+        snap = attacker.record()
+        attacker.nvm.poke(line_addr, bytes([0xFF]) * 64)
+        attacker.replay_data(snap, 64)
+        after = attacker.nvm.peek(line_addr)
+        assert after[offset:offset + HMAC_SIZE] == bytes(range(64))[offset:offset + HMAC_SIZE]
+        # The other three slots keep the newer value.
+        other = [i for i in range(64) if not offset <= i < offset + HMAC_SIZE]
+        assert all(after[i] == 0xFF for i in other)
+
+    def test_replay_counter_line(self, attacker):
+        addr = attacker.layout.counter_line_addr(0)
+        snap = attacker.record()
+        attacker.nvm.poke(addr, bytes([5]) * 64)
+        attacker.replay_counter_line(snap, 0)
+        assert attacker.nvm.peek(addr) == snap.line(attacker.nvm, addr)
+
+    def test_replay_path_rolls_back_everything(self, attacker):
+        layout = attacker.layout
+        snap = attacker.record()
+        # Mutate data, hmac, counter and the whole internal path.
+        attacker.nvm.poke(0, bytes([9]) * 64)
+        attacker.nvm.poke(layout.counter_line_addr(0), bytes([9]) * 64)
+        for node in layout.ancestors_of_leaf(0):
+            if node.level < layout.root_level:
+                attacker.nvm.poke(layout.merkle_node_addr(node), bytes([9]) * 64)
+        attacker.replay_path(snap, 0)
+        assert attacker.nvm.peek(0) == snap.line(attacker.nvm, 0)
+        assert attacker.nvm.peek(layout.counter_line_addr(0)) == snap.line(
+            attacker.nvm, layout.counter_line_addr(0)
+        )
+        for node in layout.ancestors_of_leaf(0):
+            if node.level < layout.root_level:
+                addr = layout.merkle_node_addr(node)
+                assert attacker.nvm.peek(addr) == snap.line(attacker.nvm, addr)
+
+    def test_snapshot_of_untouched_line_is_genesis(self, attacker):
+        snap = attacker.record()
+        genesis_value = attacker.nvm.peek(128)
+        attacker.nvm.poke(128, bytes([1]) * 64)
+        attacker.replay_data(snap, 128)
+        assert attacker.nvm.peek(128) == genesis_value

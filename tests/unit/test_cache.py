@@ -1,0 +1,159 @@
+"""Unit tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.mem.cache import Cache
+
+
+def tiny_cache(ways=2, sets=2):
+    """A cache small enough to force evictions quickly."""
+    return Cache(
+        CacheConfig(
+            size_bytes=ways * sets * 64, associativity=ways, hit_latency=1, name="t"
+        )
+    )
+
+
+def addr_for(cache, set_index, tag):
+    """An address mapping to *set_index* with a distinguishing tag."""
+    return (tag * cache.config.num_sets + set_index) * 64
+
+
+class TestLookup:
+    def test_miss_on_empty(self):
+        c = tiny_cache()
+        assert c.access(0) is None
+        assert c.stats.counter("misses").value == 1
+
+    def test_hit_after_fill(self):
+        c = tiny_cache()
+        c.fill(0, b"\x01" * 64)
+        line = c.access(0)
+        assert line is not None
+        assert line.data == b"\x01" * 64
+        assert c.stats.counter("hits").value == 1
+
+    def test_probe_does_not_count(self):
+        c = tiny_cache()
+        c.fill(0)
+        c.probe(0)
+        c.probe(64)
+        assert c.stats.counter("hits").value == 0
+        assert c.stats.counter("misses").value == 0
+
+    def test_rejects_unaligned(self):
+        with pytest.raises(ValueError):
+            tiny_cache().access(3)
+
+    def test_hit_rate(self):
+        c = tiny_cache()
+        c.fill(0)
+        c.access(0)
+        c.access(64)
+        assert c.hit_rate == 0.5
+
+
+class TestReplacement:
+    def test_eviction_on_full_set(self):
+        c = tiny_cache(ways=2, sets=2)
+        a0, a1, a2 = (addr_for(c, 0, t) for t in range(3))
+        c.fill(a0)
+        c.fill(a1)
+        victim = c.fill(a2)
+        assert victim is not None
+        assert victim.addr == a0  # LRU order
+        assert c.probe(a0) is None
+        assert c.probe(a1) is not None
+
+    def test_access_refreshes_lru(self):
+        c = tiny_cache(ways=2, sets=2)
+        a0, a1, a2 = (addr_for(c, 0, t) for t in range(3))
+        c.fill(a0)
+        c.fill(a1)
+        c.access(a0)  # a1 becomes LRU
+        victim = c.fill(a2)
+        assert victim.addr == a1
+
+    def test_refill_resident_does_not_evict(self):
+        c = tiny_cache(ways=2, sets=2)
+        a0, a1 = (addr_for(c, 0, t) for t in range(2))
+        c.fill(a0)
+        c.fill(a1)
+        assert c.fill(a0, b"\x05" * 64) is None
+        assert c.probe(a0).data == b"\x05" * 64
+
+    def test_different_sets_do_not_interfere(self):
+        c = tiny_cache(ways=2, sets=2)
+        for tag in range(4):
+            assert c.fill(addr_for(c, 0, tag) if tag < 2 else addr_for(c, 1, tag)) is None
+
+    def test_dirty_eviction_counted(self):
+        c = tiny_cache(ways=1, sets=1)
+        c.fill(0, dirty=True)
+        victim = c.fill(64)
+        assert victim.dirty
+        assert c.stats.counter("dirty_evictions").value == 1
+        assert c.stats.counter("evictions").value == 1
+
+
+class TestDirtyState:
+    def test_fill_dirty_sticks(self):
+        c = tiny_cache()
+        c.fill(0, dirty=True)
+        c.fill(0, dirty=False)  # refill must not lose the dirty bit
+        assert c.probe(0).dirty
+
+    def test_clean_clears_dirty_and_update_count(self):
+        c = tiny_cache()
+        c.fill(0, dirty=True)
+        c.probe(0).update_count = 5
+        c.clean(0)
+        line = c.probe(0)
+        assert not line.dirty
+        assert line.update_count == 0
+
+    def test_clean_missing_line_is_noop(self):
+        tiny_cache().clean(0)  # must not raise
+
+    def test_dirty_lines_iteration(self):
+        c = tiny_cache(ways=4, sets=1)
+        c.fill(0, dirty=True)
+        c.fill(64)
+        c.fill(128, dirty=True)
+        assert sorted(l.addr for l in c.dirty_lines()) == [0, 128]
+
+
+class TestInvalidation:
+    def test_invalidate_returns_line(self):
+        c = tiny_cache()
+        c.fill(0, b"\x07" * 64, dirty=True)
+        line = c.invalidate(0)
+        assert line.dirty
+        assert c.probe(0) is None
+
+    def test_invalidate_missing_returns_none(self):
+        assert tiny_cache().invalidate(0) is None
+
+    def test_drop_all_models_power_loss(self):
+        c = tiny_cache(ways=4, sets=2)
+        for i in range(6):
+            c.fill(i * 64, dirty=True)
+        c.drop_all()
+        assert c.occupancy == 0
+        assert list(c.dirty_lines()) == []
+
+
+class TestOccupancy:
+    def test_occupancy_tracks_fills(self):
+        c = tiny_cache(ways=4, sets=2)
+        assert c.occupancy == 0
+        c.fill(0)
+        c.fill(64)
+        assert c.occupancy == 2
+
+    def test_occupancy_bounded_by_capacity(self):
+        c = tiny_cache(ways=2, sets=2)
+        for i in range(20):
+            c.fill(i * 64)
+        assert c.occupancy <= 4

@@ -1,0 +1,57 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_simulate_validates_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "dhrystone"])
+
+    def test_simulate_validates_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "gcc", "--scheme", "magic"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "gcc"])
+        assert args.scheme == "ccnvm"
+        assert args.length == 4000
+
+
+class TestCommands:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "16 GB PCM" in out
+        assert "M=64, N=16" in out
+        assert "cc-NVM" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "success=True" in out
+        assert "located=['0x1000']" in out
+
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate", "namd", "--length", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "cc-NVM on namd" in out
+        assert "IPC" in out
+
+    @pytest.mark.slow
+    def test_evaluate_runs_small(self, capsys):
+        assert main(["evaluate", "--length", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+        assert "Figure 5(b)" in out
+        assert "average" in out

@@ -1,0 +1,113 @@
+"""Unit tests for configuration dataclasses and derived quantities."""
+
+import pytest
+
+from repro.common.config import (
+    CacheConfig,
+    CpuConfig,
+    EpochConfig,
+    NVMConfig,
+    SystemConfig,
+    paper_config,
+)
+
+
+class TestCpuConfig:
+    def test_default_is_3ghz(self):
+        assert CpuConfig().frequency_hz == 3e9
+
+    def test_ns_to_cycles_at_3ghz(self):
+        cpu = CpuConfig()
+        assert cpu.ns_to_cycles(60) == 180
+        assert cpu.ns_to_cycles(150) == 450
+        assert cpu.ns_to_cycles(72) == 216
+
+    def test_ns_to_cycles_rounds(self):
+        cpu = CpuConfig(frequency_hz=1e9)
+        assert cpu.ns_to_cycles(1.4) == 1
+        assert cpu.ns_to_cycles(1.6) == 2
+
+
+class TestCacheConfig:
+    def test_paper_l1_geometry(self):
+        l1 = paper_config().l1
+        assert l1.size_bytes == 32 * 1024
+        assert l1.associativity == 2
+        assert l1.num_sets == 256
+        assert l1.num_lines == 512
+
+    def test_paper_l2_geometry(self):
+        l2 = paper_config().l2
+        assert l2.size_bytes == 256 * 1024
+        assert l2.num_sets == 512
+        assert l2.hit_latency == 20
+
+    def test_paper_meta_cache_geometry(self):
+        meta = paper_config().security.meta_cache
+        assert meta.size_bytes == 128 * 1024
+        assert meta.associativity == 8
+        assert meta.hit_latency == 32
+
+    def test_rejects_non_divisible_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, associativity=3, hit_latency=1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=3 * 64 * 8, associativity=8, hit_latency=1)
+
+
+class TestNVMConfig:
+    def test_paper_latencies(self):
+        nvm = NVMConfig()
+        assert nvm.read_latency_ns == 60.0
+        assert nvm.write_latency_ns == 150.0
+
+    def test_paper_capacity_is_16gb(self):
+        assert NVMConfig().capacity_bytes == 16 << 30
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            NVMConfig(capacity_bytes=0)
+
+
+class TestSystemConfig:
+    def test_derived_cycles(self):
+        cfg = paper_config()
+        assert cfg.nvm_read_cycles == 180
+        assert cfg.nvm_write_cycles == 450
+        assert cfg.aes_cycles == 216
+
+    def test_paper_epoch_defaults(self):
+        epoch = paper_config().epoch
+        assert epoch.dirty_queue_entries == 64
+        assert epoch.update_limit == 16
+        assert epoch.dirty_queue_lookup_cycles == 32
+
+    def test_paper_controller_defaults(self):
+        ctl = paper_config().controller
+        assert ctl.read_queue_entries == 32
+        assert ctl.write_queue_entries == 64
+        assert ctl.wpq_entries == 64
+
+    def test_dirty_queue_bounded_by_wpq(self):
+        with pytest.raises(ValueError):
+            SystemConfig(epoch=EpochConfig(dirty_queue_entries=128))
+
+    def test_with_epoch_returns_modified_copy(self):
+        cfg = paper_config()
+        tweaked = cfg.with_epoch(update_limit=32)
+        assert tweaked.epoch.update_limit == 32
+        assert tweaked.epoch.dirty_queue_entries == 64
+        assert cfg.epoch.update_limit == 16  # original untouched
+
+    def test_with_nvm_returns_modified_copy(self):
+        cfg = paper_config()
+        tweaked = cfg.with_nvm(capacity_bytes=1 << 20)
+        assert tweaked.nvm.capacity_bytes == 1 << 20
+        assert cfg.nvm.capacity_bytes == 16 << 30
+
+    def test_config_is_frozen(self):
+        cfg = paper_config()
+        with pytest.raises(AttributeError):
+            cfg.nvm = NVMConfig()

@@ -1,0 +1,122 @@
+"""Unit tests for the split-counter line codec."""
+
+import pytest
+
+from repro.common.constants import (
+    BLOCKS_PER_PAGE,
+    CACHE_LINE_SIZE,
+    MINOR_COUNTER_MAX,
+)
+from repro.metadata.counters import CounterLine, zero_counter_line
+
+
+class TestConstruction:
+    def test_defaults_to_all_zero(self):
+        line = CounterLine()
+        assert line.major == 0
+        assert line.minors == [0] * BLOCKS_PER_PAGE
+
+    def test_rejects_wrong_minor_count(self):
+        with pytest.raises(ValueError):
+            CounterLine(minors=[0] * 10)
+
+    def test_rejects_minor_out_of_range(self):
+        with pytest.raises(ValueError):
+            CounterLine(minors=[MINOR_COUNTER_MAX + 1] + [0] * 63)
+
+    def test_rejects_negative_major(self):
+        with pytest.raises(ValueError):
+            CounterLine(major=-1)
+
+
+class TestCodec:
+    def test_encoded_width(self):
+        assert len(CounterLine().encode()) == CACHE_LINE_SIZE
+
+    def test_zero_line_is_all_zero_bytes(self):
+        assert CounterLine().encode() == zero_counter_line()
+
+    def test_roundtrip_simple(self):
+        line = CounterLine(major=5)
+        line.minors[0] = 1
+        line.minors[63] = 127
+        line.minors[17] = 64
+        assert CounterLine.decode(line.encode()) == line
+
+    def test_roundtrip_dense(self):
+        line = CounterLine(major=2**63, minors=[i % 128 for i in range(64)])
+        assert CounterLine.decode(line.encode()) == line
+
+    def test_decode_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            CounterLine.decode(b"short")
+
+    def test_minor_fields_do_not_alias(self):
+        # Bumping one minor must not disturb its neighbours in the packing.
+        line = CounterLine(minors=[127] * 64)
+        line.minors[31] = 0
+        decoded = CounterLine.decode(line.encode())
+        assert decoded.minors[30] == 127
+        assert decoded.minors[31] == 0
+        assert decoded.minors[32] == 127
+
+
+class TestIncrement:
+    def test_normal_increment(self):
+        line = CounterLine()
+        overflowed = line.increment(3)
+        assert not overflowed
+        assert line.counter_pair(3) == (0, 1)
+        assert line.counter_pair(2) == (0, 0)
+
+    def test_counter_pair_reflects_major(self):
+        line = CounterLine(major=9)
+        assert line.counter_pair(0) == (9, 0)
+
+    def test_overflow_rolls_major_and_resets_minors(self):
+        line = CounterLine()
+        line.minors[5] = MINOR_COUNTER_MAX
+        line.minors[6] = 3
+        overflowed = line.increment(5)
+        assert overflowed
+        assert line.major == 1
+        assert line.minors == [0] * BLOCKS_PER_PAGE
+
+    def test_increment_to_max_without_overflow(self):
+        line = CounterLine()
+        for _ in range(MINOR_COUNTER_MAX):
+            assert not line.increment(0)
+        assert line.counter_pair(0) == (0, MINOR_COUNTER_MAX)
+
+    def test_128th_increment_overflows(self):
+        line = CounterLine()
+        for _ in range(MINOR_COUNTER_MAX):
+            line.increment(0)
+        assert line.increment(0)
+        assert line.major == 1
+
+    def test_rejects_bad_block_index(self):
+        with pytest.raises(ValueError):
+            CounterLine().increment(64)
+        with pytest.raises(ValueError):
+            CounterLine().increment(-1)
+
+    def test_major_exhaustion_raises(self):
+        line = CounterLine(major=(1 << 64) - 1)
+        line.minors[0] = MINOR_COUNTER_MAX
+        with pytest.raises(OverflowError):
+            line.increment(0)
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        line = CounterLine(major=1)
+        clone = line.copy()
+        clone.increment(0)
+        assert line.counter_pair(0) == (1, 0)
+        assert clone.counter_pair(0) == (1, 1)
+
+    def test_equality(self):
+        assert CounterLine(major=1) == CounterLine(major=1)
+        assert CounterLine(major=1) != CounterLine(major=2)
+        assert CounterLine() != object()

@@ -1,0 +1,185 @@
+"""Unit tests for the crypto substrate: PRF, CME cipher, HMAC engine."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE, HMAC_SIZE
+from repro.crypto.cme import CounterModeCipher, generate_otp, make_seed, xor_bytes
+from repro.crypto.hmac_engine import HmacEngine
+from repro.crypto.prf import SecretKey, constant_time_equal, keyed_hash, prf
+
+
+KEY = SecretKey.from_seed("unit-test-key")
+OTHER_KEY = SecretKey.from_seed("other-key")
+
+
+class TestSecretKey:
+    def test_from_seed_deterministic(self):
+        assert SecretKey.from_seed(42) == SecretKey.from_seed(42)
+
+    def test_different_seeds_differ(self):
+        assert SecretKey.from_seed(1) != SecretKey.from_seed(2)
+
+    def test_rejects_short_material(self):
+        with pytest.raises(ValueError):
+            SecretKey(b"short")
+
+    def test_repr_hides_material(self):
+        assert "hidden" in repr(KEY)
+        assert KEY.material.hex() not in repr(KEY)
+
+
+class TestPrf:
+    def test_deterministic(self):
+        assert prf(KEY, b"a", b"b") == prf(KEY, b"a", b"b")
+
+    def test_key_separation(self):
+        assert prf(KEY, b"x") != prf(OTHER_KEY, b"x")
+
+    def test_output_length(self):
+        assert len(prf(KEY, b"x")) == CACHE_LINE_SIZE
+        assert len(prf(KEY, b"x", out_len=100)) == 100
+        assert len(prf(KEY, b"x", out_len=7)) == 7
+
+    def test_injective_part_encoding(self):
+        # (a, b) must not collide with (ab, '') — length prefixes at work.
+        assert prf(KEY, b"ab", b"c") != prf(KEY, b"a", b"bc")
+        assert prf(KEY, b"ab", b"") != prf(KEY, b"a", b"b")
+
+    def test_avalanche(self):
+        a = prf(KEY, b"seed-0")
+        b = prf(KEY, b"seed-1")
+        differing = sum(x != y for x, y in zip(a, b))
+        assert differing > CACHE_LINE_SIZE // 2
+
+
+class TestKeyedHash:
+    def test_width_is_128_bits(self):
+        assert len(keyed_hash(KEY, b"data")) == HMAC_SIZE
+
+    def test_deterministic(self):
+        assert keyed_hash(KEY, b"d", b"a") == keyed_hash(KEY, b"d", b"a")
+
+    def test_key_separation(self):
+        assert keyed_hash(KEY, b"d") != keyed_hash(OTHER_KEY, b"d")
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+        assert not constant_time_equal(b"abc", b"abd")
+
+
+class TestSeed:
+    def test_fixed_width(self):
+        assert len(make_seed(0, 0, 0)) == 18
+        assert len(make_seed(2**40, 2**50, 127)) == 18
+
+    def test_no_aliasing_between_components(self):
+        assert make_seed(1, 0, 0) != make_seed(0, 1, 0)
+        assert make_seed(0, 1, 0) != make_seed(0, 0, 1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_seed(-1, 0, 0)
+
+
+class TestXorBytes:
+    def test_xor_roundtrip(self):
+        data = bytes(range(64))
+        pad = prf(KEY, b"pad")
+        assert xor_bytes(xor_bytes(data, pad), pad) == data
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"a")
+
+
+class TestCounterModeCipher:
+    def setup_method(self):
+        self.cipher = CounterModeCipher(KEY)
+        self.plaintext = bytes(range(64))
+
+    def test_roundtrip(self):
+        ct = self.cipher.encrypt(self.plaintext, 0x1000, 3, 7)
+        assert self.cipher.decrypt(ct, 0x1000, 3, 7) == self.plaintext
+
+    def test_ciphertext_differs_from_plaintext(self):
+        ct = self.cipher.encrypt(self.plaintext, 0x1000, 3, 7)
+        assert ct != self.plaintext
+
+    def test_counter_changes_pad(self):
+        a = self.cipher.encrypt(self.plaintext, 0x1000, 3, 7)
+        b = self.cipher.encrypt(self.plaintext, 0x1000, 3, 8)
+        c = self.cipher.encrypt(self.plaintext, 0x1000, 4, 7)
+        assert a != b
+        assert a != c
+
+    def test_address_changes_pad(self):
+        a = self.cipher.encrypt(self.plaintext, 0x1000, 3, 7)
+        b = self.cipher.encrypt(self.plaintext, 0x1040, 3, 7)
+        assert a != b
+
+    def test_wrong_counter_garbles_decryption(self):
+        ct = self.cipher.encrypt(self.plaintext, 0x1000, 3, 7)
+        assert self.cipher.decrypt(ct, 0x1000, 3, 8) != self.plaintext
+
+    def test_rejects_partial_lines(self):
+        with pytest.raises(ValueError):
+            self.cipher.encrypt(b"short", 0, 0, 0)
+        with pytest.raises(ValueError):
+            self.cipher.decrypt(b"short", 0, 0, 0)
+
+    def test_otp_matches_cipher(self):
+        pad = generate_otp(KEY, 0x40, 1, 2)
+        ct = self.cipher.encrypt(self.plaintext, 0x40, 1, 2)
+        assert xor_bytes(ct, pad) == self.plaintext
+
+
+class TestHmacEngine:
+    def setup_method(self):
+        self.engine = HmacEngine(KEY)
+        self.block = prf(KEY, b"block-content")
+
+    def test_data_hmac_width(self):
+        assert len(self.engine.data_hmac(self.block, 0x80, 1, 2)) == HMAC_SIZE
+
+    def test_data_hmac_depends_on_every_input(self):
+        base = self.engine.data_hmac(self.block, 0x80, 1, 2)
+        other_data = self.engine.data_hmac(prf(KEY, b"x"), 0x80, 1, 2)
+        other_addr = self.engine.data_hmac(self.block, 0xC0, 1, 2)
+        other_major = self.engine.data_hmac(self.block, 0x80, 2, 2)
+        other_minor = self.engine.data_hmac(self.block, 0x80, 1, 3)
+        assert len({base, other_data, other_addr, other_major, other_minor}) == 5
+
+    def test_counter_hmac_depends_on_content(self):
+        node = bytes(64)
+        other = bytes([1]) + bytes(63)
+        assert self.engine.counter_hmac(node) != self.engine.counter_hmac(other)
+
+    def test_counter_hmac_uniform_for_equal_content(self):
+        # Positional authentication: equal contents hash equally; the slot
+        # position in the parent is what pins a node to its place.
+        assert self.engine.counter_hmac(bytes(64)) == self.engine.counter_hmac(
+            bytes(64)
+        )
+
+    def test_computation_counters(self):
+        self.engine.data_hmac(self.block, 0, 0, 0)
+        self.engine.data_hmac(self.block, 0, 0, 0)
+        self.engine.counter_hmac(bytes(64))
+        assert self.engine.data_hmac_count == 2
+        assert self.engine.counter_hmac_count == 1
+
+    def test_verify_checks_width(self):
+        with pytest.raises(ValueError):
+            self.engine.verify(b"short", bytes(HMAC_SIZE))
+
+    def test_verify_matches(self):
+        mac = self.engine.data_hmac(self.block, 0, 0, 0)
+        assert self.engine.verify(mac, bytes(mac))
+        tampered = bytes([mac[0] ^ 1]) + mac[1:]
+        assert not self.engine.verify(mac, tampered)
+
+    def test_rejects_partial_line_inputs(self):
+        with pytest.raises(ValueError):
+            self.engine.data_hmac(b"short", 0, 0, 0)
+        with pytest.raises(ValueError):
+            self.engine.counter_hmac(b"short")

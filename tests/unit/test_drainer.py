@@ -1,0 +1,127 @@
+"""Unit tests for the dirty address queue and epoch bookkeeping."""
+
+import pytest
+
+from repro.core.drainer import DirtyAddressQueue, DrainTrigger
+
+
+class TestReservation:
+    def test_starts_empty(self):
+        q = DirtyAddressQueue(8)
+        assert len(q) == 0
+        assert q.free_entries == 8
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            DirtyAddressQueue(0)
+
+    def test_reserve_and_contains(self):
+        q = DirtyAddressQueue(8)
+        q.reserve([64, 128])
+        assert 64 in q
+        assert 128 in q
+        assert 192 not in q
+        assert len(q) == 2
+
+    def test_deduplication(self):
+        # "we skip those dirty cachelines if their addresses have already
+        # been put in the dirty address queue" (Section 4.2).
+        q = DirtyAddressQueue(8)
+        q.reserve([64, 128])
+        q.reserve([64, 192])
+        assert len(q) == 3
+        assert q.stats.counter("reservations").value == 3
+
+    def test_fifo_order_kept(self):
+        q = DirtyAddressQueue(8)
+        q.reserve([192, 64])
+        q.reserve([128, 64])
+        assert q.addresses() == [192, 64, 128]
+
+    def test_overflow_raises(self):
+        q = DirtyAddressQueue(2)
+        q.reserve([0, 64])
+        with pytest.raises(OverflowError):
+            q.reserve([128])
+
+
+class TestFits:
+    def test_fits_counts_only_new_addresses(self):
+        q = DirtyAddressQueue(4)
+        q.reserve([0, 64, 128])
+        assert q.fits([0, 64, 192])  # one new address, one slot left
+        assert not q.fits([192, 256])  # two new, one slot
+
+    def test_fits_handles_duplicate_input(self):
+        q = DirtyAddressQueue(2)
+        assert q.fits([0, 0, 0])  # one distinct address
+
+    def test_fits_empty_list(self):
+        q = DirtyAddressQueue(1)
+        q.reserve([0])
+        assert q.fits([])
+
+
+class TestCommit:
+    def test_commit_returns_addresses_and_clears(self):
+        q = DirtyAddressQueue(8)
+        q.reserve([64, 128])
+        addrs = q.commit(DrainTrigger.QUEUE_FULL)
+        assert addrs == [64, 128]
+        assert len(q) == 0
+        assert q.free_entries == 8
+
+    def test_trigger_statistics(self):
+        q = DirtyAddressQueue(8)
+        for trigger in (
+            DrainTrigger.QUEUE_FULL,
+            DrainTrigger.QUEUE_FULL,
+            DrainTrigger.META_EVICTION,
+            DrainTrigger.UPDATE_LIMIT,
+            DrainTrigger.OVERFLOW,
+            DrainTrigger.FLUSH,
+        ):
+            q.reserve([64])
+            q.commit(trigger)
+        assert q.total_drains == 6
+        assert q.drains_by_trigger() == {
+            "queue_full": 2,
+            "meta_eviction": 1,
+            "update_limit": 1,
+            "overflow": 1,
+            "flush": 1,
+        }
+
+    def test_epoch_writeback_distribution(self):
+        q = DirtyAddressQueue(8)
+        for _ in range(5):
+            q.count_writeback()
+        q.reserve([0])
+        q.commit(DrainTrigger.FLUSH)
+        q.count_writeback()
+        q.reserve([64])
+        q.commit(DrainTrigger.FLUSH)
+        dist = q.stats.distribution("epoch_writebacks")
+        assert dist.count == 2
+        assert dist.mean == 3.0
+        assert dist.max == 5
+
+    def test_epoch_lines_distribution(self):
+        q = DirtyAddressQueue(8)
+        q.reserve([0, 64, 128])
+        q.commit(DrainTrigger.FLUSH)
+        assert q.stats.distribution("epoch_lines").mean == 3.0
+
+
+class TestDrop:
+    def test_drop_loses_contents_without_stats(self):
+        q = DirtyAddressQueue(8)
+        q.reserve([0, 64])
+        q.count_writeback()
+        q.drop()
+        assert len(q) == 0
+        assert q.total_drains == 0
+        # A fresh epoch starts from zero write-backs.
+        q.reserve([128])
+        q.commit(DrainTrigger.FLUSH)
+        assert q.stats.distribution("epoch_writebacks").mean == 0.0

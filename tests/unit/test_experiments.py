@@ -1,0 +1,73 @@
+"""Unit tests for the experiment drivers (tiny scales — the full-scale
+runs live in benchmarks/)."""
+
+import pytest
+
+from repro.analysis import experiments
+from repro.analysis.report import FigureTable, SensitivitySeries
+
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def tiny_comparisons():
+    return experiments.figure5_comparisons(
+        length=400, seed=2, workloads=["hmmer", "namd"]
+    )
+
+
+class TestFigure5Drivers:
+    def test_comparisons_cover_requested_workloads(self, tiny_comparisons):
+        assert set(tiny_comparisons) == {"hmmer", "namd"}
+        for cmp in tiny_comparisons.values():
+            assert set(cmp.results) == {
+                "no_cc", "sc", "osiris_plus", "ccnvm_no_ds", "ccnvm"
+            }
+
+    def test_figure5a_reuses_comparisons(self, tiny_comparisons):
+        table = experiments.figure5a(tiny_comparisons)
+        assert isinstance(table, FigureTable)
+        assert set(table.rows) == {"hmmer", "namd"}
+
+    def test_figure5b_reuses_comparisons(self, tiny_comparisons):
+        table = experiments.figure5b(tiny_comparisons)
+        assert all(v >= 1.0 or abs(v - 1.0) < 0.2 for v in table.column("sc"))
+
+    def test_headline_from_comparisons(self, tiny_comparisons):
+        numbers = experiments.headline(tiny_comparisons)
+        assert numbers.sc_write_amplification > 1.0
+
+
+class TestSensitivityDrivers:
+    def test_figure6a_series_structure(self):
+        series = experiments.figure6a(
+            values=[4, 64], length=300, workloads=["hmmer"], schemes=["ccnvm"]
+        )
+        assert isinstance(series, SensitivitySeries)
+        assert [v for v, _ in series.series("ccnvm", "ipc")] == [4, 64]
+        assert series.parameter == "N"
+
+    def test_figure6b_series_structure(self):
+        series = experiments.figure6b(
+            values=[32, 64], length=300, workloads=["hmmer"], schemes=["ccnvm"]
+        )
+        assert [v for v, _ in series.series("ccnvm", "writes")] == [32, 64]
+        assert series.parameter == "M"
+
+    def test_motivation_returns_pair(self):
+        loss, amplification = experiments.motivation(length=300)
+        assert 0.0 <= loss < 1.0
+        assert amplification > 1.0
+
+
+class TestAblationDriver:
+    def test_ablation_fields(self):
+        results = experiments.deferred_spreading_ablation(
+            length=400, workloads=["hmmer"]
+        )
+        row = results["hmmer"]
+        assert set(row) == {
+            "hmacs_with_ds", "hmacs_without_ds", "hmac_savings", "ipc_gain"
+        }
+        assert row["hmacs_with_ds"] <= row["hmacs_without_ds"]

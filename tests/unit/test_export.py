@@ -1,0 +1,76 @@
+"""Unit tests for CSV/JSON export and ASCII bar rendering."""
+
+import csv
+import io
+import json
+
+from repro.analysis.export import (
+    ascii_bars,
+    series_to_csv,
+    series_to_json,
+    table_to_csv,
+    table_to_json,
+)
+from repro.analysis.report import FigureTable, SensitivitySeries
+
+
+def sample_table():
+    table = FigureTable("Figure X", ["sc", "ccnvm"])
+    table.add_row("alpha", {"sc": 0.6, "ccnvm": 0.8})
+    table.add_row("beta", {"sc": 0.5, "ccnvm": 0.9})
+    return table
+
+
+def sample_series():
+    series = SensitivitySeries("Figure Y", "N")
+    series.add_point(4, "ccnvm", ipc=0.7, writes=1.5)
+    series.add_point(16, "ccnvm", ipc=0.8, writes=1.3)
+    return series
+
+
+class TestCsv:
+    def test_table_csv_round_trips(self):
+        rows = list(csv.reader(io.StringIO(table_to_csv(sample_table()))))
+        assert rows[0] == ["workload", "sc", "ccnvm"]
+        assert rows[1][0] == "alpha"
+        assert float(rows[1][1]) == 0.6
+        assert rows[-1][0] == "average"
+
+    def test_series_csv_round_trips(self):
+        rows = list(csv.reader(io.StringIO(series_to_csv(sample_series()))))
+        assert rows[0] == ["N", "scheme", "normalized_ipc", "normalized_writes"]
+        assert rows[1] == ["4", "ccnvm", "0.700000", "1.500000"]
+        assert len(rows) == 3
+
+
+class TestJson:
+    def test_table_json_structure(self):
+        doc = json.loads(table_to_json(sample_table()))
+        assert doc["title"] == "Figure X"
+        assert doc["rows"]["beta"]["ccnvm"] == 0.9
+        assert doc["labels"]["ccnvm"] == "cc-NVM"
+        assert "averages" in doc
+
+    def test_series_json_structure(self):
+        doc = json.loads(series_to_json(sample_series()))
+        assert doc["parameter"] == "N"
+        assert doc["points"]["16"]["ccnvm"]["writes"] == 1.3
+
+
+class TestAsciiBars:
+    def test_bars_scale_to_ceiling(self):
+        text = ascii_bars(sample_table(), width=10, ceiling=1.0)
+        lines = text.splitlines()
+        ccnvm_beta = [l for l in lines if "cc-NVM" in l][-1]
+        assert "#########." in ccnvm_beta  # 0.9 of 10 chars
+        assert "0.90" in ccnvm_beta
+
+    def test_bars_default_ceiling_is_max(self):
+        text = ascii_bars(sample_table(), width=10)
+        ccnvm_beta = [l for l in text.splitlines() if "cc-NVM" in l][-1]
+        assert "##########" in ccnvm_beta  # the max fills the bar
+
+    def test_every_workload_rendered(self):
+        text = ascii_bars(sample_table())
+        assert "alpha:" in text
+        assert "beta:" in text

@@ -1,0 +1,125 @@
+"""Tests for the Section 4.4 extension: persistent locate registers.
+
+The paper closes Section 4.4 with: "adding more persistent registers to
+record all the dirty counter addresses in dirty address queue, and the
+update times of each dirty counter cache can help us to locate the
+tempered data blocks, with the cost of higher hardware requirements."
+``ccnvm_locate`` implements exactly that; these tests pin its semantics.
+"""
+
+import pytest
+
+from repro.core.attacks import Attacker
+from repro.core.schemes import SCHEME_LABELS, create_scheme
+from tests.conftest import SMALL_CAPACITY, payload, small_config
+
+
+@pytest.fixture
+def scheme(config):
+    return create_scheme("ccnvm_locate", config, SMALL_CAPACITY, seed=4)
+
+
+class TestRegisterMaintenance:
+    def test_log_counts_updates_per_counter_line(self, scheme):
+        scheme.writeback(0, 0x1000, payload(1))
+        scheme.writeback(500, 0x1000 + 64, payload(2))  # same page
+        scheme.writeback(1000, 0x5000, payload(3))  # another page
+        log = scheme.tcb.counter_log
+        assert log[scheme.layout.counter_line_addr(0x1000)] == 2
+        assert log[scheme.layout.counter_line_addr(0x5000)] == 1
+
+    def test_log_cleared_on_commit(self, scheme):
+        scheme.writeback(0, 0x1000, payload(1))
+        scheme.flush()
+        assert scheme.tcb.counter_log == {}
+
+    def test_log_bounded_by_queue_occupancy(self, scheme):
+        t = 0
+        for i in range(60):
+            scheme.writeback(t, (i % 9) * 4096, payload(i))
+            t += 500
+        # Only counter lines (not internal nodes) are logged, and only
+        # those dirty in the open epoch.
+        assert len(scheme.tcb.counter_log) <= len(scheme.queue)
+
+    def test_log_survives_crash(self, scheme):
+        scheme.writeback(0, 0x1000, payload(1))
+        before = dict(scheme.tcb.counter_log)
+        scheme.crash()
+        assert scheme.tcb.counter_log == before
+
+    def test_baseline_ccnvm_never_logs(self, config):
+        plain = create_scheme("ccnvm", config, SMALL_CAPACITY, seed=4)
+        plain.writeback(0, 0x1000, payload(1))
+        assert plain.tcb.counter_log == {}
+
+
+class TestReplayLocation:
+    def _attack(self, scheme):
+        """Committed base state, one in-epoch write, rolled back."""
+        scheme.writeback(0, 0x2000, payload(1))
+        scheme.flush()
+        attacker = Attacker(scheme.nvm)
+        snapshot = attacker.record()
+        scheme.writeback(1000, 0x2000, payload(2))
+        scheme.writeback(1500, 0x8000, payload(3))  # innocent neighbour
+        scheme.crash()
+        attacker.replay_data(snapshot, 0x2000)
+        return scheme.recover()
+
+    def test_in_epoch_replay_located_at_page(self, scheme):
+        report = self._attack(scheme)
+        assert report.potential_replay_detected
+        located = [f for f in report.findings if f.kind == "replay_located"]
+        assert [f.address for f in located] == [0x2000]
+        assert located[0].node is not None
+
+    def test_innocent_pages_not_flagged(self, scheme):
+        report = self._attack(scheme)
+        assert not any(f.address == 0x8000 for f in report.findings)
+
+    def test_clean_crash_raises_no_findings(self, scheme):
+        scheme.writeback(0, 0x2000, payload(1))
+        scheme.writeback(500, 0x6000, payload(2))
+        scheme.crash()
+        report = scheme.recover()
+        assert report.success
+        assert report.clean
+
+    def test_plain_ccnvm_cannot_locate_same_attack(self, config):
+        plain = create_scheme("ccnvm", config, SMALL_CAPACITY, seed=4)
+        report = TestReplayLocation._attack(self, plain)
+        assert report.potential_replay_detected
+        assert not any(f.kind == "replay_located" for f in report.findings)
+
+    def test_spoof_still_located_by_block(self, scheme):
+        scheme.writeback(0, 0x2000, payload(1))
+        Attacker(scheme.nvm).spoof_data(0x2000)
+        scheme.crash()
+        report = scheme.recover()
+        assert any(
+            f.kind == "data_tampering" and f.address == 0x2000
+            for f in report.findings
+        )
+
+
+class TestRegistration:
+    def test_registered_and_labelled(self):
+        assert SCHEME_LABELS["ccnvm_locate"] == "cc-NVM + locate registers"
+
+    def test_behaves_like_ccnvm_otherwise(self, config):
+        """Same traffic and timing as the base design: the extension
+        costs registers, not bandwidth."""
+        import random
+
+        results = {}
+        for name in ("ccnvm", "ccnvm_locate"):
+            s = create_scheme(name, config, SMALL_CAPACITY, seed=6)
+            rng = random.Random(1)
+            t = 0
+            for i in range(200):
+                s.writeback(t, rng.randrange(30) * 4096, payload(i))
+                t += 400
+            s.flush()
+            results[name] = (s.nvm.total_writes, s.hmac.counter_hmac_count)
+        assert results["ccnvm"] == results["ccnvm_locate"]

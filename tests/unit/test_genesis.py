@@ -1,0 +1,101 @@
+"""Unit tests for the lazy genesis (format-time) image."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE, HMAC_SIZE
+from repro.crypto.cme import CounterModeCipher
+from repro.crypto.hmac_engine import HmacEngine
+from repro.crypto.prf import SecretKey
+from repro.metadata.counters import zero_counter_line
+from repro.metadata.genesis import GenesisImage
+from repro.metadata.layout import MemoryLayout
+
+
+ENC = SecretKey.from_seed("genesis-enc")
+MAC = SecretKey.from_seed("genesis-mac")
+
+
+@pytest.fixture
+def genesis():
+    return GenesisImage(MemoryLayout(1 << 20), ENC, MAC)
+
+
+class TestDataRegion:
+    def test_data_line_is_encrypted_zero(self, genesis):
+        cipher = CounterModeCipher(ENC)
+        expected = cipher.encrypt(bytes(CACHE_LINE_SIZE), 0x40, 0, 0)
+        assert genesis.data_line(0x40) == expected
+
+    def test_data_lines_differ_by_address(self, genesis):
+        assert genesis.data_line(0) != genesis.data_line(64)
+
+    def test_data_hmac_matches_runtime_engine(self, genesis):
+        # Recovery recomputes data HMACs with a runtime engine; the
+        # genesis codes must verify under it.
+        engine = HmacEngine(MAC)
+        expected = engine.data_hmac(genesis.data_line(0x80), 0x80, 0, 0)
+        assert genesis.data_hmac(0x80) == expected
+
+    def test_hmac_line_packs_four_codes(self, genesis):
+        layout = genesis.layout
+        line_addr, _ = layout.data_hmac_location(0)
+        line = genesis.hmac_line(line_addr)
+        assert len(line) == CACHE_LINE_SIZE
+        for i in range(4):
+            assert (
+                line[i * HMAC_SIZE:(i + 1) * HMAC_SIZE]
+                == genesis.data_hmac(i * CACHE_LINE_SIZE)
+            )
+
+
+class TestTreeDefaults:
+    def test_level0_is_zero_counter_line(self, genesis):
+        assert genesis.node(0) == zero_counter_line()
+
+    def test_level_nodes_pack_child_hmac(self, genesis):
+        node1 = genesis.node(1)
+        assert node1 == genesis.node_hmac(0) * 4
+
+    def test_levels_differ(self, genesis):
+        assert genesis.node(1) != genesis.node(2)
+        assert genesis.node_hmac(1) != genesis.node_hmac(2)
+
+    def test_node_values_cached(self, genesis):
+        assert genesis.node(2) is genesis.node(2)
+
+    def test_root_register_is_top_level_node(self, genesis):
+        assert genesis.root_register() == genesis.node(genesis.layout.root_level)
+
+
+class TestLineDispatch:
+    def test_dispatch_by_region(self, genesis):
+        layout = genesis.layout
+        assert genesis.line(0) == genesis.data_line(0)
+        assert genesis.line(layout.counter_base) == zero_counter_line()
+        assert genesis.line(layout.hmac_base) == genesis.hmac_line(layout.hmac_base)
+        assert genesis.line(layout.merkle_base) == genesis.node(1)
+
+    def test_every_line_is_line_sized(self, genesis):
+        layout = genesis.layout
+        for addr in (0, layout.counter_base, layout.hmac_base, layout.merkle_base):
+            assert len(genesis.line(addr)) == CACHE_LINE_SIZE
+
+    def test_format_work_does_not_touch_runtime_stats(self):
+        layout = MemoryLayout(1 << 20)
+        genesis = GenesisImage(layout, ENC, MAC)
+        genesis.node_hmac(2)
+        genesis.data_hmac(0)
+        runtime = HmacEngine(MAC)
+        assert runtime.data_hmac_count == 0
+        assert runtime.counter_hmac_count == 0
+
+
+class TestConsistencyWithVerification:
+    def test_genesis_tree_verifies_bottom_up(self, genesis):
+        """Every genesis node's HMAC equals the slot its parent stores."""
+        engine = HmacEngine(MAC)
+        layout = genesis.layout
+        for level in range(layout.root_level):
+            child_hmac = engine.counter_hmac(genesis.node(level))
+            parent = genesis.node(level + 1)
+            assert parent[:HMAC_SIZE] == child_hmac

@@ -1,0 +1,176 @@
+"""Unit tests for the NVM address map and Merkle geometry."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
+from repro.metadata.layout import MemoryLayout, MerkleNodeId
+
+
+SMALL = MemoryLayout(1 << 20)  # 1 MB data -> 256 pages
+PAPER = MemoryLayout(16 << 30)  # the paper's 16 GB device
+
+
+class TestConstruction:
+    def test_rejects_unaligned_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(PAGE_SIZE + 1)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(0)
+
+    def test_small_counts(self):
+        assert SMALL.num_pages == 256
+        assert SMALL.num_data_lines == 16384
+
+    def test_regions_are_disjoint_and_ordered(self):
+        assert SMALL.counter_base == SMALL.data_capacity
+        assert SMALL.hmac_base > SMALL.counter_base
+        assert SMALL.merkle_base > SMALL.hmac_base
+        assert SMALL.total_capacity >= SMALL.merkle_base
+
+
+class TestTreeGeometry:
+    def test_small_level_counts(self):
+        # 256 leaves -> 64 -> 16 -> 4 -> 1
+        assert SMALL.level_counts == (256, 64, 16, 4, 1)
+        assert SMALL.num_levels == 5
+        assert SMALL.root_level == 4
+
+    def test_paper_tree_has_12_levels(self):
+        # Section 2.3: "12 layers for a 16 GB NVM with 128-bit HMAC".
+        assert PAPER.num_levels == 12
+        assert PAPER.level_counts[0] == (16 << 30) // PAGE_SIZE
+
+    def test_paper_internal_path_is_10_nodes(self):
+        # Section 5.2: "10 internal path nodes and the leaf-level counter".
+        ancestors = PAPER.ancestors_of_leaf(12345)
+        in_nvm = [n for n in ancestors if n.level < PAPER.root_level]
+        assert len(in_nvm) == 10
+
+    def test_parent_of_leaf(self):
+        assert SMALL.parent_of(MerkleNodeId(0, 7)) == MerkleNodeId(1, 1)
+        assert SMALL.parent_of(MerkleNodeId(0, 0)) == MerkleNodeId(1, 0)
+
+    def test_parent_of_root_raises(self):
+        with pytest.raises(ValueError):
+            SMALL.parent_of(SMALL.root)
+
+    def test_children_of_internal(self):
+        kids = SMALL.children_of(MerkleNodeId(1, 2))
+        assert kids == [MerkleNodeId(0, i) for i in (8, 9, 10, 11)]
+
+    def test_children_of_leaf_empty(self):
+        assert SMALL.children_of(MerkleNodeId(0, 5)) == []
+
+    def test_children_of_root_cover_top_level(self):
+        kids = SMALL.children_of(SMALL.root)
+        assert kids == [MerkleNodeId(3, i) for i in range(4)]
+
+    def test_parent_child_consistency(self):
+        for level in range(1, SMALL.num_levels):
+            for index in range(SMALL.level_counts[level]):
+                node = MerkleNodeId(level, index)
+                for child in SMALL.children_of(node):
+                    assert SMALL.parent_of(child) == node
+
+    def test_slot_in_parent(self):
+        assert SMALL.slot_in_parent(MerkleNodeId(0, 0)) == 0
+        assert SMALL.slot_in_parent(MerkleNodeId(0, 7)) == 3
+        assert SMALL.slot_in_parent(MerkleNodeId(2, 9)) == 1
+
+    def test_ancestors_bottom_up_ends_at_root(self):
+        chain = SMALL.ancestors_of_leaf(100)
+        assert [n.level for n in chain] == [1, 2, 3, 4]
+        assert chain[-1] == SMALL.root
+
+    def test_ancestors_out_of_range(self):
+        with pytest.raises(ValueError):
+            SMALL.ancestors_of_leaf(256)
+
+
+class TestAddressMappings:
+    def test_counter_line_addr_per_page(self):
+        assert SMALL.counter_line_addr(0) == SMALL.counter_base
+        assert SMALL.counter_line_addr(PAGE_SIZE - 1) == SMALL.counter_base
+        assert (
+            SMALL.counter_line_addr(PAGE_SIZE)
+            == SMALL.counter_base + CACHE_LINE_SIZE
+        )
+
+    def test_counter_addr_roundtrip(self):
+        for page in (0, 1, 100, 255):
+            addr = SMALL.counter_line_addr(page * PAGE_SIZE)
+            assert SMALL.leaf_index_of_counter_addr(addr) == page
+
+    def test_leaf_index_matches_page(self):
+        assert SMALL.counter_leaf_index(PAGE_SIZE * 3 + 64) == 3
+
+    def test_block_slot(self):
+        assert SMALL.block_slot(0) == 0
+        assert SMALL.block_slot(64) == 1
+        assert SMALL.block_slot(PAGE_SIZE - 1) == 63
+
+    def test_data_hmac_locations_pack_four_per_line(self):
+        line0, off0 = SMALL.data_hmac_location(0)
+        line1, off1 = SMALL.data_hmac_location(64)
+        line4, off4 = SMALL.data_hmac_location(4 * 64)
+        assert line0 == line1
+        assert off1 - off0 == 16
+        assert line4 == line0 + CACHE_LINE_SIZE
+        assert off4 == 0
+
+    def test_data_hmac_region_bounds(self):
+        last_line, _ = SMALL.data_hmac_location(SMALL.data_capacity - 1)
+        assert SMALL.hmac_base <= last_line < SMALL.merkle_base
+
+    def test_rejects_out_of_range_data_address(self):
+        with pytest.raises(ValueError):
+            SMALL.counter_line_addr(SMALL.data_capacity)
+
+    def test_merkle_node_addr_roundtrip(self):
+        for level in range(1, SMALL.root_level):
+            for index in (0, SMALL.level_counts[level] - 1):
+                node = MerkleNodeId(level, index)
+                assert SMALL.node_of_addr(SMALL.merkle_node_addr(node)) == node
+
+    def test_leaf_node_addr_is_counter_addr(self):
+        node = MerkleNodeId(0, 9)
+        assert SMALL.merkle_node_addr(node) == SMALL.counter_base + 9 * 64
+
+    def test_root_has_no_nvm_address(self):
+        with pytest.raises(ValueError):
+            SMALL.merkle_node_addr(SMALL.root)
+
+    def test_node_addresses_unique(self):
+        seen = set()
+        for level in range(0, SMALL.root_level):
+            for index in range(SMALL.level_counts[level]):
+                addr = SMALL.merkle_node_addr(MerkleNodeId(level, index))
+                assert addr not in seen
+                seen.add(addr)
+
+    def test_region_classification(self):
+        assert SMALL.region_of(0) == "data"
+        assert SMALL.region_of(SMALL.data_capacity - 1) == "data"
+        assert SMALL.region_of(SMALL.counter_base) == "counter"
+        assert SMALL.region_of(SMALL.hmac_base) == "data_hmac"
+        assert SMALL.region_of(SMALL.merkle_base) == "merkle"
+        with pytest.raises(ValueError):
+            SMALL.region_of(SMALL.total_capacity)
+
+    def test_writeback_metadata_addresses(self):
+        addrs = SMALL.metadata_addresses_for_writeback(PAGE_SIZE * 5 + 128)
+        # counter line + internal ancestors (levels 1..3); root excluded.
+        assert len(addrs) == 4
+        assert addrs[0] == SMALL.counter_line_addr(PAGE_SIZE * 5)
+        assert all(SMALL.region_of(a) in ("counter", "merkle") for a in addrs)
+
+    def test_writeback_metadata_deterministic(self):
+        a = SMALL.metadata_addresses_for_writeback(4096)
+        b = SMALL.metadata_addresses_for_writeback(4096 + 64)
+        assert a == b  # same page -> identical metadata set
+
+    def test_paper_writeback_touches_11_metadata_lines(self):
+        # counter + 10 internal nodes for the 16 GB device.
+        assert len(PAPER.metadata_addresses_for_writeback(123 * PAGE_SIZE)) == 11

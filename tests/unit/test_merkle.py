@@ -1,0 +1,186 @@
+"""Unit tests for the sparse whole-image Merkle tree operations."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE, HMAC_SIZE
+from repro.crypto.hmac_engine import HmacEngine
+from repro.crypto.prf import SecretKey
+from repro.mem.nvm import NVMDevice
+from repro.metadata.counters import CounterLine
+from repro.metadata.genesis import GenesisImage
+from repro.metadata.layout import MemoryLayout, MerkleNodeId
+from repro.metadata.merkle import MerkleTree, MismatchedEdge, read_slot, write_slot
+
+
+ENC = SecretKey.from_seed("merkle-enc")
+MAC = SecretKey.from_seed("merkle-mac")
+
+
+def make_tree(capacity=1 << 20):
+    layout = MemoryLayout(capacity)
+    genesis = GenesisImage(layout, ENC, MAC)
+    nvm = NVMDevice(layout, initializer=genesis.line)
+    return MerkleTree(nvm, HmacEngine(MAC), genesis)
+
+
+def write_counter(tree, leaf, major=1):
+    line = CounterLine(major=major)
+    addr = tree.layout.merkle_node_addr(MerkleNodeId(0, leaf))
+    tree.nvm.poke(addr, line.encode())
+    return addr
+
+
+class TestSlotHelpers:
+    def test_read_write_roundtrip(self):
+        node = bytes(range(64))
+        code = bytes([0xAB]) * HMAC_SIZE
+        updated = write_slot(node, 2, code)
+        assert read_slot(updated, 2) == code
+        assert read_slot(updated, 1) == node[16:32]
+        assert read_slot(updated, 3) == node[48:64]
+
+    def test_slot_bounds_checked(self):
+        with pytest.raises(ValueError):
+            read_slot(bytes(64), 4)
+        with pytest.raises(ValueError):
+            write_slot(bytes(64), -1, bytes(16))
+
+    def test_write_slot_validates_sizes(self):
+        with pytest.raises(ValueError):
+            write_slot(bytes(64), 0, bytes(8))
+        with pytest.raises(ValueError):
+            write_slot(bytes(32), 0, bytes(16))
+
+
+class TestGenesisConsistency:
+    def test_untouched_image_is_consistent(self):
+        tree = make_tree()
+        assert tree.verify_consistent(tree.genesis.root_register())
+
+    def test_untouched_compute_root_is_genesis(self):
+        tree = make_tree()
+        assert tree.compute_root() == tree.genesis.root_register()
+
+    def test_untouched_image_has_no_mismatches(self):
+        tree = make_tree()
+        assert tree.find_mismatches(tree.genesis.root_register()) == []
+
+
+class TestBuildAndVerify:
+    def test_build_after_counter_update_restores_consistency(self):
+        tree = make_tree()
+        write_counter(tree, leaf=5)
+        root = tree.build()
+        assert root != tree.genesis.root_register()
+        assert tree.verify_consistent(root)
+
+    def test_compute_root_matches_build(self):
+        tree = make_tree()
+        write_counter(tree, leaf=5)
+        write_counter(tree, leaf=200)
+        assert tree.compute_root() == tree.build()
+
+    def test_compute_root_does_not_write(self):
+        tree = make_tree()
+        write_counter(tree, leaf=7)
+        before = tree.nvm.touched_lines()
+        tree.compute_root()
+        assert tree.nvm.touched_lines() == before
+
+    def test_build_writes_only_affected_ancestors(self):
+        tree = make_tree()
+        write_counter(tree, leaf=0)
+        tree.build()
+        touched = [
+            tree.layout.node_of_addr(a)
+            for a in tree.nvm.touched_lines()
+            if tree.layout.region_of(a) == "merkle"
+        ]
+        expected = [
+            n
+            for n in tree.layout.ancestors_of_leaf(0)
+            if n.level < tree.layout.root_level
+        ]
+        assert sorted((n.level, n.index) for n in touched) == sorted(
+            (n.level, n.index) for n in expected
+        )
+
+    def test_two_leaves_same_parent(self):
+        tree = make_tree()
+        write_counter(tree, leaf=0)
+        write_counter(tree, leaf=1)
+        root = tree.build()
+        assert tree.verify_consistent(root)
+
+    def test_old_root_no_longer_matches(self):
+        tree = make_tree()
+        write_counter(tree, leaf=3)
+        root1 = tree.build()
+        write_counter(tree, leaf=3, major=2)
+        root2 = tree.build()
+        assert root1 != root2
+        assert tree.verify_consistent(root2)
+        assert not tree.verify_consistent(root1)
+
+
+class TestMismatchLocation:
+    def test_tampered_counter_located_at_leaf_edge(self):
+        tree = make_tree()
+        write_counter(tree, leaf=9)
+        root = tree.build()
+        addr = tree.layout.merkle_node_addr(MerkleNodeId(0, 9))
+        raw = tree.nvm.peek(addr)
+        tree.nvm.poke(addr, bytes([raw[0] ^ 1]) + raw[1:])
+        mismatches = tree.find_mismatches(root)
+        assert MismatchedEdge(
+            tree.layout.parent_of(MerkleNodeId(0, 9)), MerkleNodeId(0, 9)
+        ) in mismatches
+
+    def test_tampered_internal_node_located(self):
+        tree = make_tree()
+        write_counter(tree, leaf=9)
+        root = tree.build()
+        node = MerkleNodeId(1, 2)  # parent of leaf 9
+        addr = tree.layout.merkle_node_addr(node)
+        raw = tree.nvm.peek(addr)
+        tree.nvm.poke(addr, bytes([raw[0] ^ 1]) + raw[1:])
+        mismatches = tree.find_mismatches(root)
+        children = {(e.child.level, e.child.index) for e in mismatches}
+        # The corrupted node mismatches its parent, and its corrupted slot
+        # mismatches the child below.
+        assert (1, 2) in children
+
+    def test_replayed_counter_line_detected(self):
+        tree = make_tree()
+        addr = write_counter(tree, leaf=4, major=1)
+        tree.build()
+        old = tree.nvm.peek(addr)
+        write_counter(tree, leaf=4, major=2)
+        root = tree.build()
+        tree.nvm.poke(addr, old)  # replay the previous version
+        mismatches = tree.find_mismatches(root)
+        assert any(e.child == MerkleNodeId(0, 4) for e in mismatches)
+
+    def test_mismatch_against_root_register_reports_none_parent(self):
+        tree = make_tree(1 << 16)  # 16 pages: top internal level is 1
+        write_counter(tree, leaf=0)
+        root = tree.build()
+        node = MerkleNodeId(1, 0)
+        addr = tree.layout.merkle_node_addr(node)
+        raw = tree.nvm.peek(addr)
+        tree.nvm.poke(addr, bytes([raw[0] ^ 1]) + raw[1:])
+        mismatches = tree.find_mismatches(root)
+        assert any(e.parent is None and e.child == node for e in mismatches)
+
+    def test_consistent_replay_of_whole_path_caught_at_root(self):
+        """Replaying a coherent old subtree still mismatches the root."""
+        tree = make_tree(1 << 16)
+        write_counter(tree, leaf=2, major=1)
+        tree.build()
+        snapshot = tree.nvm.snapshot()
+        write_counter(tree, leaf=2, major=2)
+        root = tree.build()
+        # Replay the counter AND its whole internal path coherently.
+        tree.nvm.restore(snapshot)
+        mismatches = tree.find_mismatches(root)
+        assert mismatches, "old consistent image must not match the new root"

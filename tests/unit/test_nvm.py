@@ -1,0 +1,126 @@
+"""Unit tests for the sparse NVM device model."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.mem.nvm import NVMDevice
+from repro.metadata.layout import MemoryLayout
+
+
+@pytest.fixture
+def nvm():
+    return NVMDevice(MemoryLayout(1 << 20))
+
+
+LINE_A = bytes([0xAA]) * CACHE_LINE_SIZE
+LINE_B = bytes([0xBB]) * CACHE_LINE_SIZE
+
+
+class TestBasicIO:
+    def test_unwritten_lines_read_zero(self, nvm):
+        assert nvm.read_line(0) == bytes(CACHE_LINE_SIZE)
+
+    def test_write_then_read(self, nvm):
+        nvm.write_line(128, LINE_A)
+        assert nvm.read_line(128) == LINE_A
+
+    def test_overwrite(self, nvm):
+        nvm.write_line(0, LINE_A)
+        nvm.write_line(0, LINE_B)
+        assert nvm.read_line(0) == LINE_B
+
+    def test_rejects_unaligned_access(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.read_line(1)
+        with pytest.raises(ValueError):
+            nvm.write_line(63, LINE_A)
+
+    def test_rejects_out_of_range(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.read_line(nvm.layout.total_capacity)
+
+    def test_rejects_partial_line_payload(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.write_line(0, b"short")
+
+
+class TestPartialWrites:
+    def test_merge_preserves_rest_of_line(self, nvm):
+        nvm.write_line(0, LINE_A)
+        nvm.write_partial(0, 16, b"\xcc" * 16)
+        line = nvm.read_line(0)
+        assert line[:16] == LINE_A[:16]
+        assert line[16:32] == b"\xcc" * 16
+        assert line[32:] == LINE_A[32:]
+
+    def test_partial_into_virgin_line(self, nvm):
+        nvm.write_partial(64, 48, b"\xdd" * 16)
+        line = nvm.read_line(64)
+        assert line[:48] == bytes(48)
+        assert line[48:] == b"\xdd" * 16
+
+    def test_partial_counts_as_one_write(self, nvm):
+        nvm.write_partial(0, 0, b"\x01" * 16)
+        assert nvm.total_writes == 1
+
+    def test_partial_overflow_rejected(self, nvm):
+        with pytest.raises(ValueError):
+            nvm.write_partial(0, 56, b"\x00" * 16)
+
+
+class TestTrafficAccounting:
+    def test_total_counts(self, nvm):
+        nvm.write_line(0, LINE_A)
+        nvm.write_line(64, LINE_A)
+        nvm.read_line(0)
+        assert nvm.total_writes == 2
+        assert nvm.total_reads == 1
+
+    def test_per_region_classification(self, nvm):
+        layout = nvm.layout
+        nvm.write_line(0, LINE_A)  # data
+        nvm.write_line(layout.counter_base, LINE_A)  # counter
+        nvm.write_line(layout.hmac_base, LINE_A)  # data_hmac
+        nvm.write_line(layout.merkle_base, LINE_A)  # merkle
+        by_region = nvm.writes_by_region()
+        assert by_region == {"data": 1, "counter": 1, "data_hmac": 1, "merkle": 1}
+
+    def test_reads_by_region(self, nvm):
+        nvm.read_line(0)
+        nvm.read_line(nvm.layout.counter_base)
+        assert nvm.reads_by_region() == {"data": 1, "counter": 1}
+
+    def test_per_line_write_counts(self, nvm):
+        nvm.write_line(0, LINE_A)
+        nvm.write_line(0, LINE_B)
+        nvm.write_line(64, LINE_A)
+        assert nvm.write_count(0) == 2
+        assert nvm.write_count(64) == 1
+        assert nvm.write_count(128) == 0
+
+    def test_peek_poke_bypass_accounting(self, nvm):
+        nvm.poke(0, LINE_A)
+        assert nvm.peek(0) == LINE_A
+        assert nvm.total_writes == 0
+        assert nvm.total_reads == 0
+
+
+class TestSnapshotRestore:
+    def test_snapshot_is_isolated(self, nvm):
+        nvm.write_line(0, LINE_A)
+        image = nvm.snapshot()
+        nvm.write_line(0, LINE_B)
+        assert image[0] == LINE_A
+
+    def test_restore_rewinds_contents(self, nvm):
+        nvm.write_line(0, LINE_A)
+        image = nvm.snapshot()
+        nvm.write_line(0, LINE_B)
+        nvm.restore(image)
+        assert nvm.peek(0) == LINE_A
+
+    def test_touched_lines_sorted(self, nvm):
+        nvm.write_line(192, LINE_A)
+        nvm.write_line(0, LINE_A)
+        nvm.write_line(64, LINE_A)
+        assert nvm.touched_lines() == [0, 64, 192]

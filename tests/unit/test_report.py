@@ -1,0 +1,146 @@
+"""Unit tests for the figure-table/reporting layer."""
+
+import pytest
+
+from repro.analysis.report import (
+    FigureTable,
+    HeadlineNumbers,
+    SensitivitySeries,
+    geometric_mean,
+    headline_numbers,
+    ipc_table,
+    write_traffic_table,
+)
+from repro.sim.runner import DesignComparison, SimulationResult
+
+
+def fake_result(scheme, workload, ipc, writes):
+    return SimulationResult(
+        scheme=scheme,
+        workload=workload,
+        instructions=1000,
+        cycles=int(1000 / ipc),
+        ipc=ipc,
+        nvm_writes=writes,
+        nvm_reads=0,
+    )
+
+
+def fake_comparison(workload, ipcs, writes):
+    results = {
+        scheme: fake_result(scheme, workload, ipcs[scheme], writes[scheme])
+        for scheme in ipcs
+    }
+    return DesignComparison(workload=workload, results=results)
+
+
+COMPARISONS = {
+    "wl_a": fake_comparison(
+        "wl_a",
+        ipcs={"no_cc": 1.0, "sc": 0.6, "osiris_plus": 0.65, "ccnvm_no_ds": 0.62, "ccnvm": 0.8},
+        writes={"no_cc": 100, "sc": 550, "osiris_plus": 105, "ccnvm_no_ds": 135, "ccnvm": 135},
+    ),
+    "wl_b": fake_comparison(
+        "wl_b",
+        ipcs={"no_cc": 2.0, "sc": 1.2, "osiris_plus": 1.3, "ccnvm_no_ds": 1.26, "ccnvm": 1.7},
+        writes={"no_cc": 200, "sc": 1100, "osiris_plus": 210, "ccnvm_no_ds": 290, "ccnvm": 290},
+    ),
+}
+
+
+class TestGeometricMean:
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == 3.0
+
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_invariant_to_order(self):
+        assert geometric_mean([2.0, 8.0, 0.5]) == pytest.approx(
+            geometric_mean([0.5, 2.0, 8.0])
+        )
+
+
+class TestFigureTables:
+    def test_ipc_table_values(self):
+        table = ipc_table(COMPARISONS)
+        assert table.rows["wl_a"]["ccnvm"] == pytest.approx(0.8)
+        assert table.rows["wl_b"]["sc"] == pytest.approx(0.6)
+
+    def test_write_table_values(self):
+        table = write_traffic_table(COMPARISONS)
+        assert table.rows["wl_a"]["sc"] == pytest.approx(5.5)
+        assert table.rows["wl_b"]["ccnvm"] == pytest.approx(1.45)
+
+    def test_average_is_geometric(self):
+        table = ipc_table(COMPARISONS)
+        assert table.average("ccnvm") == pytest.approx(
+            geometric_mean([0.8, 0.85])
+        )
+
+    def test_column_order_matches_rows(self):
+        table = ipc_table(COMPARISONS)
+        assert table.column("sc") == [0.6, 0.6]
+
+    def test_render_contains_everything(self):
+        text = ipc_table(COMPARISONS).render()
+        assert "wl_a" in text
+        assert "cc-NVM" in text
+        assert "average" in text
+        assert "Figure 5(a)" in text
+
+    def test_custom_table(self):
+        table = FigureTable("custom", ["x"])
+        table.add_row("w", {"x": 2.0})
+        assert table.averages() == {"x": 2.0}
+
+
+class TestHeadline:
+    def test_computed_scalars(self):
+        numbers = headline_numbers(COMPARISONS)
+        assert numbers.sc_write_amplification == pytest.approx(5.5)
+        ccnvm = geometric_mean([0.8, 0.85])
+        osiris = geometric_mean([0.65, 0.65])
+        assert numbers.ccnvm_ipc_gain_over_osiris == pytest.approx(
+            ccnvm / osiris - 1.0
+        )
+        assert numbers.ccnvm_ipc_loss == pytest.approx(1.0 - ccnvm)
+
+    def test_render_mentions_paper_values(self):
+        text = headline_numbers(COMPARISONS).render()
+        assert "+20.4%" in text
+        assert "5.5x" in text
+        assert "-41.4%" in text
+
+    def test_dataclass_is_frozen(self):
+        numbers = HeadlineNumbers(0.2, 0.3, 0.4, 5.5, 0.19)
+        with pytest.raises(AttributeError):
+            numbers.sc_ipc_loss = 0.1
+
+
+class TestSensitivitySeries:
+    def make(self):
+        series = SensitivitySeries("t", "N")
+        series.add_point(4, "ccnvm", ipc=0.7, writes=1.5)
+        series.add_point(16, "ccnvm", ipc=0.78, writes=1.35)
+        series.add_point(64, "ccnvm", ipc=0.8, writes=1.3)
+        return series
+
+    def test_series_sorted_by_parameter(self):
+        series = self.make()
+        assert series.series("ccnvm", "ipc") == [
+            (4, 0.7), (16, 0.78), (64, 0.8)
+        ]
+
+    def test_series_per_metric(self):
+        series = self.make()
+        assert series.series("ccnvm", "writes")[0] == (4, 1.5)
+
+    def test_render(self):
+        text = self.make().render()
+        assert "normalized ipc vs N" in text
+        assert "normalized writes vs N" in text
+        assert "cc-NVM" in text

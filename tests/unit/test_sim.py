@@ -1,0 +1,179 @@
+"""Unit tests for the trace-driven CPU, hierarchy and runner."""
+
+import pytest
+
+from repro.core.schemes import create_scheme
+from repro.sim.cpu import TraceCPU
+from repro.sim.runner import run_design_comparison, run_simulation
+from repro.sim.system import MemoryHierarchy
+from repro.sim.trace import READ, WRITE, Trace, TraceRecord
+from repro.workloads import synthetic
+from tests.conftest import SMALL_CAPACITY, small_config
+
+
+def make_machine(config, scheme_name="ccnvm"):
+    scheme = create_scheme(scheme_name, config, SMALL_CAPACITY, seed=1)
+    memory = MemoryHierarchy(config, scheme)
+    return scheme, memory
+
+
+class TestHierarchyFunctional:
+    def test_write_then_read_hits_l1(self, config):
+        _, memory = make_machine(config)
+        memory.write(0, 0, bytes([1]) * 64)
+        data, latency, level = memory.read(1, 0)
+        assert data == bytes([1]) * 64
+        assert level == "l1"
+        assert latency == config.l1.hit_latency
+
+    def test_miss_goes_to_memory(self, config):
+        _, memory = make_machine(config)
+        data, latency, level = memory.read(0, 0x8000)
+        assert level == "mem"
+        assert latency > config.nvm_read_cycles
+        assert data == bytes(64)  # genesis zeros
+
+    def test_l2_hit_after_l1_eviction(self, config):
+        _, memory = make_machine(config)
+        memory.read(0, 0)
+        # Blow L1 (1 KB, 16 lines) without blowing L2 (4 KB, 64 lines).
+        for i in range(1, 33):
+            memory.read(0, i * 64)
+        __, _, level = memory.read(0, 0)
+        assert level == "l2"
+
+    def test_value_survives_full_eviction(self, config):
+        _, memory = make_machine(config)
+        memory.write(0, 0, bytes([0xAB]) * 64)
+        # Evict through both levels: round-trips through the scheme.
+        for i in range(1, 200):
+            memory.write(i, i * 64, bytes([i % 256]) * 64)
+        data, _, level = memory.read(10 ** 6, 0)
+        assert level == "mem"
+        assert data == bytes([0xAB]) * 64
+
+    def test_writeback_counts(self, config):
+        scheme, memory = make_machine(config)
+        for i in range(200):
+            memory.write(i * 1000, i * 64)  # now, addr
+        memory.flush()
+        assert memory.stats.counter("llc_writebacks").value > 0
+        assert scheme.nvm.writes_by_region().get("data", 0) > 0
+
+    def test_store_payload_fabricated_when_missing(self, config):
+        _, memory = make_machine(config)
+        memory.write(0, 0x40)
+        data, _, _ = memory.read(1, 0x40)
+        assert len(data) == 64
+        assert data != bytes(64)
+
+    def test_rejects_partial_store(self, config):
+        _, memory = make_machine(config)
+        with pytest.raises(ValueError):
+            memory.write(0, 0, b"short")
+
+    def test_persist_line_moves_data_to_nvm(self, config):
+        scheme, memory = make_machine(config)
+        memory.write(0, 0, bytes([9]) * 64)
+        assert scheme.nvm.writes_by_region().get("data", 0) == 0
+        memory.persist_line(1, 0)
+        assert scheme.nvm.writes_by_region()["data"] == 1
+        # Line stays cached and clean.
+        assert memory.l1.probe(0) is not None
+        assert not memory.l1.probe(0).dirty
+
+    def test_persist_untouched_line_is_noop(self, config):
+        scheme, memory = make_machine(config)
+        assert memory.persist_line(0, 0x40) == 0
+
+
+class TestTraceCPU:
+    def test_pure_compute_ipc_is_peak(self, config):
+        _, memory = make_machine(config)
+        cpu = TraceCPU(config, memory)
+        # One L1-resident address accessed repeatedly: stalls ~ hit latency.
+        trace = Trace("t", [TraceRecord(READ, 0, 100) for _ in range(50)])
+        result = cpu.run(trace)
+        assert result.ipc > config.cpu.peak_ipc * 0.5
+
+    def test_memory_bound_ipc_is_low(self, config):
+        _, memory = make_machine(config)
+        cpu = TraceCPU(config, memory)
+        trace = synthetic.random_uniform(
+            length=300, footprint=1 << 19, mem_gap=1, seed=0
+        )
+        result = cpu.run(trace)
+        assert result.ipc < 0.5
+
+    def test_counts(self, config):
+        _, memory = make_machine(config)
+        cpu = TraceCPU(config, memory)
+        trace = Trace(
+            "t",
+            [TraceRecord(READ, 0, 5), TraceRecord(WRITE, 64, 5), TraceRecord(READ, 0, 5)],
+        )
+        result = cpu.run(trace)
+        assert result.reads == 2
+        assert result.writes == 1
+        assert result.instructions == 18
+        assert result.cycles > 0
+
+    def test_served_by_stats(self, config):
+        _, memory = make_machine(config)
+        cpu = TraceCPU(config, memory)
+        cpu.run(Trace("t", [TraceRecord(READ, 0, 0), TraceRecord(READ, 0, 0)]))
+        served = cpu.stats.group("served_by")
+        assert served.counter("mem").value == 1
+        assert served.counter("l1").value == 1
+
+
+class TestRunner:
+    def test_run_simulation_result_fields(self, config):
+        trace = synthetic.hotspot(
+            length=400, footprint=1 << 16, write_ratio=0.4, seed=1, name="wl"
+        )
+        result = run_simulation("ccnvm", trace, config, SMALL_CAPACITY)
+        assert result.scheme == "ccnvm"
+        assert result.workload == "wl"
+        assert result.label == "cc-NVM"
+        assert result.ipc > 0
+        assert result.nvm_writes > 0
+        assert result.llc_writebacks > 0
+        assert result.epochs >= 1
+        assert sum(result.drains_by_trigger.values()) == result.epochs
+        assert result.counter_hmacs > 0
+        assert result.data_hmacs > 0
+
+    def test_simulation_is_deterministic(self, config):
+        trace = synthetic.hotspot(
+            length=300, footprint=1 << 16, write_ratio=0.3, seed=2
+        )
+        a = run_simulation("ccnvm", trace, config, SMALL_CAPACITY, seed=7)
+        b = run_simulation("ccnvm", trace, config, SMALL_CAPACITY, seed=7)
+        assert a.cycles == b.cycles
+        assert a.nvm_writes == b.nvm_writes
+        assert a.counter_hmacs == b.counter_hmacs
+
+    def test_comparison_includes_baseline(self, config):
+        trace = synthetic.sequential_stream(
+            length=300, footprint=1 << 16, write_ratio=0.5, seed=1
+        )
+        cmp = run_design_comparison(
+            trace, schemes=["ccnvm"], config=config, data_capacity=SMALL_CAPACITY
+        )
+        assert set(cmp.results) == {"no_cc", "ccnvm"}
+        assert cmp.normalized_ipc("no_cc") == 1.0
+        assert cmp.normalized_writes("no_cc") == 1.0
+
+    def test_comparison_orderings(self, config):
+        trace = synthetic.sequential_stream(
+            length=600, footprint=1 << 17, write_ratio=0.5, seed=1
+        )
+        cmp = run_design_comparison(
+            trace, config=config, data_capacity=SMALL_CAPACITY
+        )
+        # The paper's first-order shape on a write-heavy stream.
+        assert cmp.normalized_writes("sc") > 2.5
+        assert cmp.normalized_writes("ccnvm") < cmp.normalized_writes("sc")
+        assert cmp.normalized_ipc("ccnvm") >= cmp.normalized_ipc("ccnvm_no_ds")
+        assert cmp.normalized_ipc("ccnvm") <= 1.01

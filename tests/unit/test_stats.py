@@ -1,0 +1,104 @@
+"""Unit tests for the statistics registry."""
+
+from repro.common.stats import Counter, Distribution, StatGroup
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("c").value == 0
+
+    def test_inc_default(self):
+        c = Counter("c")
+        c.inc()
+        c.inc()
+        assert c.value == 2
+
+    def test_inc_amount(self):
+        c = Counter("c")
+        c.inc(10)
+        c.inc(5)
+        assert c.value == 15
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestDistribution:
+    def test_empty_mean_is_zero(self):
+        assert Distribution("d").mean == 0.0
+
+    def test_single_sample(self):
+        d = Distribution("d")
+        d.sample(5.0)
+        assert d.count == 1
+        assert d.mean == 5.0
+        assert d.min == 5.0
+        assert d.max == 5.0
+
+    def test_aggregates(self):
+        d = Distribution("d")
+        for v in (1, 2, 3, 4):
+            d.sample(v)
+        assert d.count == 4
+        assert d.mean == 2.5
+        assert d.min == 1
+        assert d.max == 4
+
+    def test_reset(self):
+        d = Distribution("d")
+        d.sample(10)
+        d.reset()
+        assert d.count == 0
+        assert d.mean == 0.0
+
+
+class TestStatGroup:
+    def test_counter_created_once(self):
+        g = StatGroup("g")
+        assert g.counter("x") is g.counter("x")
+
+    def test_distribution_created_once(self):
+        g = StatGroup("g")
+        assert g.distribution("x") is g.distribution("x")
+
+    def test_child_group_created_once(self):
+        g = StatGroup("g")
+        assert g.group("child") is g.group("child")
+
+    def test_walk_produces_dotted_paths(self):
+        g = StatGroup("system")
+        g.counter("cycles").inc(7)
+        g.group("llc").counter("misses").inc(3)
+        flat = g.as_dict()
+        assert flat["system.cycles"] == 7
+        assert flat["system.llc.misses"] == 3
+
+    def test_nested_reset(self):
+        g = StatGroup("sys")
+        g.counter("a").inc(1)
+        child = g.group("sub")
+        child.counter("b").inc(2)
+        child.distribution("d").sample(9)
+        g.reset()
+        assert g.counter("a").value == 0
+        assert child.counter("b").value == 0
+        assert child.distribution("d").count == 0
+
+    def test_report_contains_values(self):
+        g = StatGroup("top")
+        g.counter("hits").inc(42)
+        g.distribution("lat").sample(3)
+        text = g.report()
+        assert "top.hits" in text
+        assert "42" in text
+        assert "top.lat" in text
+
+    def test_as_dict_distribution_reports_mean(self):
+        g = StatGroup("g")
+        d = g.distribution("lat")
+        d.sample(2)
+        d.sample(4)
+        assert g.as_dict()["g.lat"] == 3.0

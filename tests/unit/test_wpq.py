@@ -1,0 +1,132 @@
+"""Unit tests for the write pending queue and its ADR/atomic-batch semantics."""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.mem.nvm import NVMDevice
+from repro.mem.wpq import AtomicBatchError, WritePendingQueue
+from repro.metadata.layout import MemoryLayout
+
+
+LINE = bytes([0x5A]) * CACHE_LINE_SIZE
+
+
+@pytest.fixture
+def wpq():
+    nvm = NVMDevice(MemoryLayout(1 << 20))
+    return WritePendingQueue(nvm, entries=4)
+
+
+class TestNormalWrites:
+    def test_write_is_immediately_durable(self, wpq):
+        wpq.write(0, LINE)
+        assert wpq.nvm.peek(0) == LINE
+
+    def test_partial_write_passthrough(self, wpq):
+        wpq.write_partial(0, 16, b"\x11" * 16)
+        assert wpq.nvm.peek(0)[16:32] == b"\x11" * 16
+
+    def test_normal_writes_counted(self, wpq):
+        wpq.write(0, LINE)
+        wpq.write_partial(64, 0, b"\x01" * 16)
+        assert wpq.stats.counter("normal_writes").value == 2
+
+
+class TestAtomicBatch:
+    def test_batch_held_until_commit(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(0, LINE)
+        assert wpq.nvm.peek(0) == bytes(CACHE_LINE_SIZE)  # not yet visible
+        flushed = wpq.commit_atomic()
+        assert flushed == 1
+        assert wpq.nvm.peek(0) == LINE
+
+    def test_commit_flushes_in_order(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(0, LINE)
+        wpq.write_atomic(0, bytes([0x77]) * CACHE_LINE_SIZE)
+        wpq.commit_atomic()
+        assert wpq.nvm.peek(0) == bytes([0x77]) * CACHE_LINE_SIZE
+
+    def test_batch_size_tracking(self, wpq):
+        assert not wpq.in_atomic_batch
+        wpq.begin_atomic()
+        assert wpq.in_atomic_batch
+        wpq.write_atomic(0, LINE)
+        wpq.write_atomic(64, LINE)
+        assert wpq.batch_size == 2
+        wpq.commit_atomic()
+        assert not wpq.in_atomic_batch
+        assert wpq.batch_size == 0
+
+    def test_batch_capacity_enforced(self, wpq):
+        wpq.begin_atomic()
+        for i in range(4):
+            wpq.write_atomic(i * 64, LINE)
+        with pytest.raises(AtomicBatchError):
+            wpq.write_atomic(256, LINE)
+
+    def test_nested_batches_rejected(self, wpq):
+        wpq.begin_atomic()
+        with pytest.raises(AtomicBatchError):
+            wpq.begin_atomic()
+
+    def test_stray_signals_rejected(self, wpq):
+        with pytest.raises(AtomicBatchError):
+            wpq.write_atomic(0, LINE)
+        with pytest.raises(AtomicBatchError):
+            wpq.commit_atomic()
+
+    def test_normal_writes_flow_during_batch(self, wpq):
+        # "normal data blocks still flow in legacy mode" (Section 4.2).
+        wpq.begin_atomic()
+        wpq.write(128, LINE)
+        assert wpq.nvm.peek(128) == LINE
+        wpq.commit_atomic()
+
+
+class TestPowerFailure:
+    def test_crash_without_end_signal_drops_batch(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(0, LINE)
+        wpq.write_atomic(64, LINE)
+        dropped = wpq.power_failure()
+        assert dropped == 2
+        assert wpq.nvm.peek(0) == bytes(CACHE_LINE_SIZE)
+        assert wpq.nvm.peek(64) == bytes(CACHE_LINE_SIZE)
+        assert not wpq.in_atomic_batch
+
+    def test_crash_after_commit_preserves_batch(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(0, LINE)
+        wpq.commit_atomic()
+        assert wpq.power_failure() == 0
+        assert wpq.nvm.peek(0) == LINE
+
+    def test_crash_outside_batch_is_noop(self, wpq):
+        wpq.write(0, LINE)
+        assert wpq.power_failure() == 0
+        assert wpq.nvm.peek(0) == LINE
+
+    def test_batch_usable_after_crash(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(0, LINE)
+        wpq.power_failure()
+        wpq.begin_atomic()  # must not raise
+        wpq.write_atomic(64, LINE)
+        wpq.commit_atomic()
+        assert wpq.nvm.peek(64) == LINE
+
+    def test_drop_statistics(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(0, LINE)
+        wpq.power_failure()
+        assert wpq.stats.counter("batches_dropped").value == 1
+        assert wpq.stats.counter("batches_committed").value == 0
+
+
+class TestConstruction:
+    def test_rejects_zero_entries(self):
+        nvm = NVMDevice(MemoryLayout(1 << 20))
+        with pytest.raises(ValueError):
+            WritePendingQueue(nvm, entries=0)
