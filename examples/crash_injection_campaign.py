@@ -1,72 +1,42 @@
 #!/usr/bin/env python3
-"""Crash-injection campaign: recovery correctness at every cut point.
+"""Crash-injection campaign: the differential recovery oracle in action.
 
-Replays the same write-back stream on a cc-NVM machine and injects a
-power failure after every k-th operation (for a sweep of k), verifying
-after each crash that (1) recovery succeeds cleanly, (2) every block the
-application persisted reads back exactly, and (3) the recovery effort
-(data-HMAC retries) stays within the bound the update-times limit N
-guarantees.  This is the systematic version of the single-crash demos.
+Sweeps the named micro-step crash sites (``repro faults sites`` lists
+them) across the four consistent designs plus the w/o CC baseline, plus
+the NVM media-fault phase, and checks each outcome against the design's
+documented contract:
 
-Run:  python examples/crash_injection_campaign.py
+* cc-NVM (with and without deferred spreading) recovers from *every*
+  reachable micro-step, including crashes injected into recovery itself;
+* SC and Osiris Plus recover everywhere except the one window where the
+  data block is durable but the tree root has not caught up — there the
+  crash is indistinguishable from a replay and they (honestly) alarm;
+* w/o CC degrades: with per-block staleness past the update-times limit
+  N the counters are unrecoverable, and recovery says which blocks died.
+
+Run:  python examples/crash_injection_campaign.py [--full]
+
+The default is the CI-sized smoke campaign; ``--full`` sweeps all five
+designs with the longer workload (a minute or two).
 """
 
-import random
+import sys
 
-from repro.common.config import SystemConfig
-from repro.core.schemes import create_scheme
-
-CAPACITY = 1 << 22
-STEPS = 160
-CUT_POINTS = range(10, STEPS, 25)
-
-
-def workload(seed: int):
-    """A deterministic write-back stream with a hot set."""
-    rng = random.Random(seed)
-    steps = []
-    for i in range(STEPS):
-        page = rng.randrange(12)
-        block = rng.randrange(6)
-        steps.append((page * 4096 + block * 64, bytes([i % 256]) * 64))
-    return steps
-
-
-def run_until(cut: int, config: SystemConfig):
-    scheme = create_scheme("ccnvm", config, CAPACITY, seed=99)
-    written = {}
-    t = 0
-    for addr, data in workload(7)[:cut]:
-        scheme.writeback(t, addr, data)
-        written[addr] = data
-        t += 400
-    return scheme, written, t
+from repro.faults import CampaignConfig, run_campaign
 
 
 def main() -> None:
-    config = SystemConfig()
-    n_limit = config.epoch.update_limit
-    print(f"injecting crashes at {len(list(CUT_POINTS))} cut points "
-          f"(update-times limit N = {n_limit})\n")
-    print(f"{'cut':>5} {'success':>8} {'retries':>8} {'nwb':>5} "
-          f"{'max-retry-ok':>13} {'data-intact':>12}")
-
-    for cut in CUT_POINTS:
-        scheme, written, t = run_until(cut, config)
-        scheme.crash()
-        report = scheme.recover()
-        intact = all(
-            scheme.read(t + i * 400, addr)[0] == data
-            for i, (addr, data) in enumerate(written.items())
-        )
-        # Per-block retries are individually bounded by N; the recovery
-        # total equals Nwb when no attack happened.
-        bounded = report.total_retries <= report.nwb <= cut
-        print(f"{cut:>5} {report.success!s:>8} {report.total_retries:>8} "
-              f"{report.nwb:>5} {bounded!s:>13} {intact!s:>12}")
-        assert report.success and report.clean and intact and bounded
-
-    print("\nevery cut point recovered cleanly with exact data.")
+    cfg = CampaignConfig() if "--full" in sys.argv[1:] else CampaignConfig.smoke()
+    print(f"schemes: {', '.join(cfg.schemes)}; workload: {cfg.steps} "
+          f"write-backs over an 8-block hot set\n")
+    result = run_campaign(cfg)
+    print(result.summary())
+    if not result.passed:
+        raise SystemExit(1)
+    recovered = sum(1 for r in result.injections if r.outcome == "RECOVERED")
+    print(f"\n{len(result.sites_fired())} distinct crash sites fired; "
+          f"{recovered} injections recovered with data intact; "
+          f"every outcome matched its design's contract.")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,10 @@ Commands:
 * ``evaluate`` — regenerate the Figure 5 tables and headline numbers;
 * ``sweep`` — the Figure 6 sensitivity panels;
 * ``demo`` — a one-minute crash/attack/recovery walk-through;
-* ``simulate`` — run one workload on one design and dump statistics.
+* ``simulate`` — run one workload on one design and dump statistics;
+* ``faults run`` — the fault-injection campaign (crash sites x schemes x
+  media faults) judged by the differential recovery oracle;
+* ``faults sites`` — the catalogue of instrumented crash sites.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from repro.analysis import experiments
 from repro.analysis.report import headline_numbers, ipc_table, write_traffic_table
 from repro.common.config import SystemConfig
 from repro.core.schemes import SCHEME_LABELS
+from repro.faults.plan import ALL_SITE_NAMES
 from repro.sim.runner import run_simulation
 from repro.workloads.spec import SPEC_ORDER, spec_trace
 
@@ -114,6 +118,49 @@ def cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults_run(args: argparse.Namespace) -> int:
+    from repro.faults import CampaignConfig, run_campaign
+
+    cfg = CampaignConfig.smoke() if args.smoke else CampaignConfig()
+    overrides = {}
+    if args.schemes:
+        overrides["schemes"] = tuple(args.schemes)
+    if args.sites:
+        overrides["sites"] = tuple(args.sites)
+    if args.steps is not None:
+        overrides["steps"] = args.steps
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        import dataclasses
+
+        cfg = dataclasses.replace(cfg, **overrides)
+    result = run_campaign(cfg)
+    print(result.summary())
+    if args.export:
+        import os
+
+        from repro.analysis.export import campaign_to_csv, campaign_to_json
+
+        os.makedirs(args.export, exist_ok=True)
+        with open(os.path.join(args.export, "fault_campaign.csv"), "w") as f:
+            f.write(campaign_to_csv(result))
+        with open(os.path.join(args.export, "fault_campaign.json"), "w") as f:
+            f.write(campaign_to_json(result))
+        print(f"exported CSV/JSON to {args.export}/")
+    return 0 if result.passed else 1
+
+
+def cmd_faults_sites(_args: argparse.Namespace) -> int:
+    from repro.faults import SITES
+
+    print("instrumented crash sites (component.step):")
+    for s in SITES:
+        print(f"  {s.name:26s} [{s.component:8s}] {s.description}")
+        print(f"  {'':26s} reached by: {', '.join(s.schemes)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="cc-NVM (DAC 2019) reproduction"
@@ -146,6 +193,28 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("demo", help="crash/attack/recovery walk-through").set_defaults(
         func=cmd_demo
     )
+
+    faults = sub.add_parser("faults", help="fault-injection campaigns")
+    fsub = faults.add_subparsers(dest="faults_command", required=True)
+    frun = fsub.add_parser(
+        "run", help="sweep crash sites x schemes under the recovery oracle"
+    )
+    frun.add_argument("--smoke", action="store_true",
+                      help="CI-sized campaign (two schemes, short workload)")
+    frun.add_argument("--schemes", nargs="+", metavar="SCHEME",
+                      choices=sorted(SCHEME_LABELS), default=None)
+    frun.add_argument("--sites", nargs="+", metavar="SITE", default=None,
+                      choices=ALL_SITE_NAMES,
+                      help="restrict the sweep to these crash sites")
+    frun.add_argument("--steps", type=int, default=None,
+                      help="write-backs in the main workload loop")
+    frun.add_argument("--seed", type=int, default=None)
+    frun.add_argument("--export", metavar="DIR", default=None,
+                      help="also write campaign CSV/JSON into DIR")
+    frun.set_defaults(func=cmd_faults_run)
+    fsub.add_parser(
+        "sites", help="list the instrumented crash sites"
+    ).set_defaults(func=cmd_faults_sites)
     return parser
 
 

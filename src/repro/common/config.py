@@ -122,6 +122,12 @@ class ControllerConfig:
     write_queue_entries: int = 64
     #: ADR-protected write pending queue entries (64 x 64 B = 4 KB).
     wpq_entries: int = 64
+    #: Maximum re-reads of a line after an ECC-detected media fault before
+    #: the controller gives up and reports a permanent media failure.
+    read_retry_limit: int = 3
+    #: Initial backoff between read retries, in core cycles (doubles per
+    #: attempt — PCM drift faults often clear after a short wait).
+    read_retry_backoff_cycles: int = 16
 
 
 @dataclass(frozen=True)

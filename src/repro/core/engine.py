@@ -39,11 +39,17 @@ class EncryptionEngine:
         nvm: NVMDevice,
         wpq: WritePendingQueue,
         stats: StatGroup | None = None,
+        reader=None,
     ) -> None:
         self.cipher = cipher
         self.hmac = hmac
         self.nvm = nvm
         self.wpq = wpq
+        #: ``addr -> bytes`` used for device reads.  Defaults to the raw
+        #: device; schemes pass the memory controller's retrying
+        #: ``read_line`` so transient media faults are absorbed before the
+        #: ciphertext reaches the decrypt/verify pipeline.
+        self._read_line = reader if reader is not None else nvm.read_line
         self.layout: MemoryLayout = nvm.layout
         self._stats = stats if stats is not None else StatGroup("engine")
         self._writebacks = self._stats.counter("data_writebacks")
@@ -89,10 +95,10 @@ class EncryptionEngine:
         spoofing and splicing.
         """
         major, minor = counters.counter_pair(self.layout.block_slot(addr))
-        ciphertext = self.nvm.read_line(addr)
+        ciphertext = self._read_line(addr)
         if verify:
             hmac_line, offset = self.layout.data_hmac_location(addr)
-            stored = self.nvm.read_line(hmac_line)[offset:offset + HMAC_SIZE]
+            stored = self._read_line(hmac_line)[offset:offset + HMAC_SIZE]
             computed = self.hmac.data_hmac(ciphertext, addr, major, minor)
             if not self.hmac.verify(bytes(stored), computed):
                 raise IntegrityError(
@@ -127,7 +133,7 @@ class EncryptionEngine:
             addr = page_addr + block * CACHE_LINE_SIZE
             old_major, old_minor = old_counters.counter_pair(block)
             plaintext = self.cipher.decrypt(
-                self.nvm.read_line(addr), addr, old_major, old_minor
+                self._read_line(addr), addr, old_major, old_minor
             )
             new_major, new_minor = new_counters.counter_pair(block)
             ciphertext = self.cipher.encrypt(plaintext, addr, new_major, new_minor)

@@ -123,6 +123,7 @@ class RecoveryManager:
         merkle: MerkleTree,
         policy: RecoveryPolicy,
         scheme_name: str,
+        fault_hook=None,
     ) -> None:
         self.nvm = nvm
         self.layout = nvm.layout
@@ -132,6 +133,14 @@ class RecoveryManager:
         self.scheme_name = scheme_name
         self.hmac: HmacEngine = merkle.engine
         self.cipher = CounterModeCipher(tcb.encryption_key)
+        #: Optional fault-injection callback (see :mod:`repro.faults`);
+        #: lets campaigns crash recovery itself mid-run, exercising the
+        #: restartable (crash-during-recovery) path.
+        self.fault_hook = fault_hook
+
+    def _fault(self, site: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(site)
 
     # -- image access helpers (peek/poke: recovery is not runtime traffic) ------
 
@@ -300,6 +309,7 @@ class RecoveryManager:
             self.nvm.poke(
                 self.layout.merkle_node_addr(MerkleNodeId(0, leaf)), line.encode()
             )
+        self._fault("recovery.mid_rebuild")
         root = self.merkle.build()
         return root
 
@@ -347,25 +357,55 @@ class RecoveryManager:
         return located
 
     def run(self) -> RecoveryReport:
-        """Execute the recovery steps this design's policy allows."""
-        report = RecoveryReport(scheme=self.scheme_name, nwb=self.tcb.nwb)
+        """Execute the recovery steps this design's policy allows.
 
-        if self.policy.check_tree_against:
+        Recovery is *restartable*: the persistent ``recovery_pending``
+        TCB register is set before the image is mutated and cleared only
+        by the final ``set_roots``.  A run that finds it already set is
+        resuming after a crash-during-recovery — the stored tree may be
+        half-rebuilt (so step 1 cannot distinguish tampering from the
+        interrupted rebuild) and the interrupted run already rolled
+        counters forward (so retry totals are no longer commensurable
+        with ``nwb``); both checks are skipped with a note, and the
+        remaining steps are idempotent.
+        """
+        report = RecoveryReport(scheme=self.scheme_name, nwb=self.tcb.nwb)
+        resumed = self.tcb.recovery_pending
+        if resumed:
+            report.notes.append(
+                "resumed: a previous recovery attempt was interrupted "
+                "(recovery_pending was set); tree and freshness checks "
+                "skipped over the half-rebuilt image"
+            )
+
+        if self.policy.check_tree_against and not resumed:
             self._check_tree(report)
 
+        self.tcb.recovery_pending = True
         recovered, leaf_retries, rolled_leaves = self._recover_counters(report)
+        self._fault("recovery.after_counters")
         root = self._apply(recovered)
 
         located_by_log = False
-        if self.policy.use_counter_log:
+        if self.policy.use_counter_log and not resumed:
             located_by_log = self._check_counter_log(
                 report, leaf_retries, rolled_leaves
             )
 
-        if located_by_log:
+        if resumed:
+            pass  # freshness state was consumed by the interrupted run
+        elif located_by_log:
             pass  # the per-page check subsumes the global comparisons
         elif self.policy.freshness_check == "nwb":
-            if report.majors_rolled:
+            if report.matched_root == "new":
+                report.notes.append(
+                    "Nwb/Nretry comparison skipped: the stored tree "
+                    "already matches root_new (the crash landed after "
+                    "the epoch's end signal, before root_old caught up), "
+                    "so the counters are fully fresh and the replay "
+                    "window was closed"
+                )
+            elif report.majors_rolled:
                 report.notes.append(
                     "Nwb/Nretry comparison skipped: a split-counter major "
                     "bump makes retry counts incommensurable with Nwb"
@@ -395,6 +435,7 @@ class RecoveryManager:
                     )
                 )
 
+        self._fault("recovery.before_root_set")
         self.tcb.set_roots(root)
         report.success = (
             not report.unrecoverable_blocks

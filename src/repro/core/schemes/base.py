@@ -83,7 +83,12 @@ class SecureNVMScheme(ABC):
         self.hmac = HmacEngine(hmac_key, self.stats.group("hmac"))
         self.cipher = CounterModeCipher(encryption_key)
         self.engine = EncryptionEngine(
-            self.cipher, self.hmac, self.nvm, self.wpq, self.stats.group("engine")
+            self.cipher,
+            self.hmac,
+            self.nvm,
+            self.wpq,
+            self.stats.group("engine"),
+            reader=self.controller.read_line,
         )
         self.meta = MetadataStore(
             config,
@@ -93,10 +98,15 @@ class SecureNVMScheme(ABC):
             self.tcb,
             self.genesis,
             self.stats.group("metastore"),
+            reader=self.controller.read_line,
         )
         self.meta.on_dirty_evict = self._on_dirty_meta_evict
         self.merkle = MerkleTree(self.nvm, self.hmac, self.genesis)
 
+        #: Optional fault-injection callback (see :mod:`repro.faults`):
+        #: called with a dotted site name at instrumented micro-steps of
+        #: the write-back / drain / recovery paths.
+        self.fault_hook = None
         #: Cycle before which the scheme cannot accept new traffic
         #: (drains block subsequent evictions until finished).
         self.busy_until = 0
@@ -113,6 +123,10 @@ class SecureNVMScheme(ABC):
             "read_latency_cycles", "demand-fill latency"
         )
         self._crashes = self.stats.counter("crashes")
+
+    def _fault(self, site: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(site)
 
     # ------------------------------------------------------------------
     # subclass seams
@@ -191,11 +205,19 @@ class SecureNVMScheme(ABC):
         # baseline), so it compresses *relative* gaps exactly as a real
         # pipeline would.
         cycles += self.config.aes_cycles + self._hmac_cycles
+        self._fault("writeback.before_data")
+        # The data/HMAC write and the persistent Nwb bump form one atomic
+        # micro-op: the write's WPQ acceptance (durable under ADR) and the
+        # TCB register update happen in the same controller transaction,
+        # so no crash point separates them — otherwise recovery's
+        # retries-vs-Nwb freshness comparison would false-alarm in either
+        # direction.
         self.engine.write_data_block(addr, plaintext, counters)
+        self.tcb.count_writeback()
+        self._fault("writeback.after_data")
         cycles += self.controller.post_writes(now + cycles, 2)
 
         cycles += self._update_tree(now + cycles, counter_addr)
-        self.tcb.count_writeback()
         cycles += self._post_writeback(now + cycles, counter_addr, line, overflowed)
 
         self.busy_until = now + cycles

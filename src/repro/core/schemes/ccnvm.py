@@ -168,8 +168,11 @@ class CcNVM(SecureNVMScheme):
             # Commit immediately so the stored counter never trails a page
             # re-key (keeps recovery retries within one major generation).
             cycles += self._drain(now, DrainTrigger.OVERFLOW)
-        elif line.update_count > self.config.epoch.update_limit:
-            cycles += self._drain(now, DrainTrigger.UPDATE_LIMIT)  # trigger 3
+        elif line.update_count >= self.config.epoch.update_limit:
+            # Trigger 3, at (not past) the Nth update: a crash during
+            # this very drain then leaves at most N stale updates, which
+            # is exactly recovery's per-block retry budget.
+            cycles += self._drain(now, DrainTrigger.UPDATE_LIMIT)
         if self._pending_trigger is not None:
             # A dirty line was evicted mid-write-back (trigger 2); the
             # commit was deferred to this boundary so the epoch is never
@@ -231,8 +234,10 @@ class CcNVM(SecureNVMScheme):
         self._draining = True
         cycles = 0
 
+        self._fault("drain.before_recompute")
         if self.deferred_spreading:
             cycles += self._spread_recorded(addrs)
+        self._fault("drain.after_recompute")
 
         # start signal: metadata cachelines are blocked inside the WPQ.
         self.wpq.begin_atomic()
@@ -266,7 +271,9 @@ class CcNVM(SecureNVMScheme):
 
         for addr in addrs:
             self.meta.cache.clean(addr)
+        self._fault("drain.before_root_commit")
         self.tcb.commit_root()  # root_old catches up; Nwb resets
+        self._fault("drain.after_root_commit")
 
         self._draining = False
         self._drain_cycles.sample(cycles)
@@ -328,14 +335,26 @@ class CcNVM(SecureNVMScheme):
         self._pending_trigger = None
 
     def recover(self) -> RecoveryReport:
-        """The four-step recovery of Section 4.4."""
+        """The four-step recovery of Section 4.4.
+
+        Both variants use the ``Nwb`` freshness check: even w/o DS, a
+        crash can land between the (durable) data write and the chain
+        recompute, so comparing the rebuilt root against ``root_new``
+        would false-alarm on the one in-flight write-back.  ``Nwb`` is
+        bumped atomically with the data write, so retry totals stay
+        commensurable with it at every crash point, while an in-epoch
+        replay still shows up as ``Nretry != Nwb``.
+        """
         policy = RecoveryPolicy(
             check_tree_against=("old", "new"),
             retry_limit=self.config.epoch.update_limit,
-            freshness_check="nwb" if self.deferred_spreading else "root_new",
+            freshness_check="nwb",
             use_counter_log=self.locate_registers,
         )
-        return RecoveryManager(self.nvm, self.tcb, self.merkle, policy, self.name).run()
+        return RecoveryManager(
+            self.nvm, self.tcb, self.merkle, policy, self.name,
+            fault_hook=self.fault_hook,
+        ).run()
 
 
 class CcNVMWithLocateRegisters(CcNVM):

@@ -53,7 +53,10 @@ class WithoutCrashConsistency(SecureNVMScheme):
             retry_limit=self.config.epoch.update_limit,
             freshness_check=None,
         )
-        report = RecoveryManager(self.nvm, self.tcb, self.merkle, policy, self.name).run()
+        report = RecoveryManager(
+            self.nvm, self.tcb, self.merkle, policy, self.name,
+            fault_hook=self.fault_hook,
+        ).run()
         report.notes.append(
             "w/o CC provides no crash consistency: recovery is best-effort "
             "and unrecoverable blocks are expected after a crash"

@@ -77,7 +77,10 @@ class OsirisPlus(SecureNVMScheme):
             retry_limit=self.config.epoch.update_limit,
             freshness_check="root_new",
         )
-        report = RecoveryManager(self.nvm, self.tcb, self.merkle, policy, self.name).run()
+        report = RecoveryManager(
+            self.nvm, self.tcb, self.merkle, policy, self.name,
+            fault_hook=self.fault_hook,
+        ).run()
         if report.potential_replay_detected:
             report.notes.append(
                 "Osiris Plus cannot locate the tampered block: the whole "

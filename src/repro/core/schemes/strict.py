@@ -86,15 +86,23 @@ class StrictConsistency(SecureNVMScheme):
         """Nothing to do: NVM is consistent after every write-back."""
 
     def recover(self) -> RecoveryReport:
-        """Trivial recovery: verify the (always-consistent) image.
+        """Near-trivial recovery: verify the (always-consistent) image.
 
-        Counters in NVM are always current, so the retry bound is zero:
-        any block whose data HMAC fails at the stored counter has been
-        tampered with.
+        The data block and its HMAC are accepted into the WPQ *before*
+        the metadata batch is assembled, so a crash can leave exactly one
+        write-back's data durable while its counter update was dropped
+        with the un-ended batch.  The stored counter therefore lags by at
+        most the one in-flight write-back — retry bound 1 — and the
+        stored tree legitimately matches ``root_new`` (quiescent) or
+        ``root_old`` (crash mid-batch, both registers still equal the
+        last committed root).
         """
         policy = RecoveryPolicy(
-            check_tree_against=("new",),
-            retry_limit=0,
+            check_tree_against=("new", "old"),
+            retry_limit=1,
             freshness_check="root_new",
         )
-        return RecoveryManager(self.nvm, self.tcb, self.merkle, policy, self.name).run()
+        return RecoveryManager(
+            self.nvm, self.tcb, self.merkle, policy, self.name,
+            fault_hook=self.fault_hook,
+        ).run()

@@ -46,6 +46,13 @@ class TCB:
         #: Bounded by the dirty-address-queue depth; persistent.  Filled
         #: only by designs built with ``locate_registers=True``.
         self.counter_log: dict[int, int] = {}
+        #: Persistent one-bit register set while a recovery run is
+        #: mutating the NVM image and cleared by :meth:`set_roots`.  A
+        #: crash *during* recovery leaves it set, telling the next
+        #: recovery attempt it is resuming over a half-rebuilt image (the
+        #: stored tree need not match either root, and retry counts are
+        #: no longer commensurable with ``nwb``).
+        self.recovery_pending = False
 
     # -- root register manipulation ------------------------------------------------
 
@@ -75,6 +82,7 @@ class TCB:
         self.root_old = self.root_new
         self.nwb = 0
         self.counter_log.clear()
+        self.recovery_pending = False
 
     # -- write-back accounting -------------------------------------------------------
 
@@ -91,8 +99,9 @@ class TCB:
     def crash(self) -> None:
         """Model a power failure.
 
-        Keys, the three persistent registers (``root_new``, ``root_old``,
-        ``nwb``) and the optional extension register file survive; the
+        Keys, the persistent registers (``root_new``, ``root_old``,
+        ``nwb``, ``recovery_pending``) and the optional extension
+        register file survive; the
         TCB holds no other state, so this is deliberately a no-op —
         defined explicitly to document the persistence contract in one
         place.

@@ -24,10 +24,17 @@ def make_seed(address: int, major: int, minor: int) -> bytes:
     """Serialize the CME seed for one block.
 
     The encoding is fixed-width so distinct (address, major, minor) triples
-    can never alias.
+    can never alias.  Each component must fit its field: 64 bits for the
+    address and the major counter, 16 bits for the minor counter.
     """
     if address < 0 or major < 0 or minor < 0:
         raise ValueError("seed components must be non-negative")
+    if address >= 1 << 64:
+        raise ValueError(f"address {address:#x} exceeds the 64-bit seed field")
+    if major >= 1 << 64:
+        raise ValueError(f"major counter {major} exceeds the 64-bit seed field")
+    if minor >= 1 << 16:
+        raise ValueError(f"minor counter {minor} exceeds the 16-bit seed field")
     return (
         address.to_bytes(8, "little")
         + major.to_bytes(8, "little")

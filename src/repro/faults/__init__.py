@@ -1,0 +1,54 @@
+"""Fault injection: micro-step crash points, media faults, recovery oracle.
+
+This package drives the system model through the failures the paper's
+guarantees are supposed to survive:
+
+* :mod:`repro.faults.plan` — the registry of named crash sites the core
+  is instrumented with, plus :class:`PowerFailure`;
+* :mod:`repro.faults.injector` — arms a deterministic crash at the k-th
+  visit of a site (or records site hit counts in discovery mode);
+* :mod:`repro.faults.media` — NVM media-fault model: ECC-detectable
+  transient read faults, permanent (stuck) faults, and silent bit flips
+  only the HMAC layer can catch;
+* :mod:`repro.faults.campaign` — the differential recovery oracle: sweep
+  schemes x crash sites x fault models and assert each design's
+  documented post-crash contract.
+
+Layering: core modules never import this package — they expose plain
+``fault_hook`` attributes the injector attaches to, and the media model
+plugs into :class:`~repro.mem.nvm.NVMDevice` through ``set_media_model``.
+"""
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    InjectionResult,
+    MediaResult,
+    run_campaign,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.media import MediaFaultModel
+from repro.faults.plan import (
+    ALL_SITE_NAMES,
+    RECOVERY_SITES,
+    SITES,
+    FaultSite,
+    PowerFailure,
+    sites_for_scheme,
+)
+
+__all__ = [
+    "ALL_SITE_NAMES",
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultInjector",
+    "FaultSite",
+    "InjectionResult",
+    "MediaFaultModel",
+    "MediaResult",
+    "PowerFailure",
+    "RECOVERY_SITES",
+    "SITES",
+    "run_campaign",
+    "sites_for_scheme",
+]

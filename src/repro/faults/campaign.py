@@ -1,0 +1,542 @@
+"""The differential recovery oracle: schemes x crash sites x fault models.
+
+For every (scheme, site) pair the campaign runs a deterministic hot-set
+workload, arms a power failure at a chosen visit of the site, crashes the
+machine there, recovers, and checks the design's *documented* post-crash
+contract — not merely "recovery did not throw":
+
+* the rebuilt tree is internally consistent and both TCB roots agree;
+* per-campaign retry totals stay within the design's bound (N);
+* every write-back that completed before the crash reads back exactly;
+  the one in-flight block reads back as either its pre- or post-crash
+  value; nothing else is acceptable;
+* the machine is usable afterwards (a fresh write-back round-trips).
+
+Outcomes are classified and compared against an expected matrix derived
+from each design's guarantees (differential part):
+
+=================  =========================================================
+``RECOVERED``      recovery succeeded and every invariant held
+``FALSE_ALARM``    data fully intact, but the design's freshness check
+                   cannot distinguish the crash from a replay (honest
+                   limitation of SC / Osiris Plus at one micro-step)
+``DEGRADED``       unrecoverable blocks were reported *and located*; all
+                   other data intact (w/o CC's expected post-crash state)
+``NOT_REACHED``    the scheme's execution never visits this site
+``FAILED``         anything else — a protocol bug
+=================  =========================================================
+
+Crash sites inside ``recovery.*`` are exercised as *double crashes*: run
+the workload, crash, start recovery, crash it mid-run at the armed site,
+then recover again — asserting recovery is restartable/idempotent.
+
+The media phase schedules NVM read faults per scheme: a transient fault
+must be absorbed by the controller's bounded retry, a permanent fault
+must degrade gracefully into a located :class:`MediaResult` report, and a
+silent bit flip must be caught by the data-HMAC layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.common.config import SystemConfig
+from repro.core.schemes import create_scheme
+from repro.faults.injector import FaultInjector
+from repro.faults.media import MediaFaultModel
+from repro.faults.plan import RECOVERY_SITES, PowerFailure, sites_for_scheme
+from repro.mem.nvm import PermanentMediaError
+from repro.metadata.metacache import IntegrityError
+
+#: Default scheme sweep (the four consistent designs plus the baseline).
+DEFAULT_SCHEMES = ("no_cc", "sc", "osiris_plus", "ccnvm_no_ds", "ccnvm")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Shape of one campaign run."""
+
+    schemes: tuple[str, ...] = DEFAULT_SCHEMES
+    #: Restrict the sweep to these sites (None = every reachable site).
+    sites: tuple[str, ...] | None = None
+    #: Write-backs in the main workload loop (after an 8-step warm-up
+    #: round).  The default drives every hot block past the update-times
+    #: limit N, so w/o CC's unbounded staleness actually shows.
+    steps: int = 160
+    seed: int = 0
+    #: Data-region bytes of the modeled device (small = fast rebuilds).
+    data_capacity: int = 1 << 16
+    #: Also run the NVM media-fault phase.
+    media: bool = True
+
+    @staticmethod
+    def smoke() -> "CampaignConfig":
+        """A CI-sized campaign: two schemes, shorter workload, no media cut."""
+        return CampaignConfig(schemes=("sc", "ccnvm"), steps=64)
+
+
+@dataclass
+class InjectionResult:
+    """One (scheme, crash site) experiment."""
+
+    scheme: str
+    site: str
+    #: Which visit of the site the crash was armed at (0 = not armed).
+    hit: int
+    fired: bool
+    outcome: str
+    expected: str
+    ok: bool
+    total_retries: int = 0
+    nwb: int = 0
+    unrecoverable: int = 0
+    problems: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "site": self.site,
+            "hit": self.hit,
+            "fired": self.fired,
+            "outcome": self.outcome,
+            "expected": self.expected,
+            "ok": self.ok,
+            "total_retries": self.total_retries,
+            "nwb": self.nwb,
+            "unrecoverable": self.unrecoverable,
+            "problems": list(self.problems),
+            "notes": list(self.notes),
+        }
+
+
+@dataclass
+class MediaResult:
+    """One media-fault experiment."""
+
+    scheme: str
+    kind: str  # 'transient' | 'permanent' | 'silent'
+    addr: int
+    outcome: str  # 'absorbed' | 'degraded_located' | 'detected_by_hmac' | ...
+    expected: str
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "kind": self.kind,
+            "addr": self.addr,
+            "outcome": self.outcome,
+            "expected": self.expected,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    injections: list[InjectionResult] = field(default_factory=list)
+    media: list[MediaResult] = field(default_factory=list)
+    schemes: tuple[str, ...] = ()
+    steps: int = 0
+    seed: int = 0
+
+    @property
+    def passed(self) -> bool:
+        """Every experiment matched its expected outcome."""
+        return all(r.ok for r in self.injections) and all(r.ok for r in self.media)
+
+    def failures(self) -> list[str]:
+        """Human-readable lines for every mismatching experiment."""
+        out = []
+        for r in self.injections:
+            if not r.ok:
+                out.append(
+                    f"{r.scheme} @ {r.site}: got {r.outcome}, expected "
+                    f"{r.expected} ({'; '.join(r.problems) or 'no detail'})"
+                )
+        for m in self.media:
+            if not m.ok:
+                out.append(
+                    f"{m.scheme} media/{m.kind} @ {m.addr:#x}: got "
+                    f"{m.outcome}, expected {m.expected} ({m.detail})"
+                )
+        return out
+
+    def sites_fired(self) -> set[str]:
+        """Distinct crash sites at which an injection actually fired."""
+        return {r.site for r in self.injections if r.fired}
+
+    def to_dict(self) -> dict:
+        return {
+            "schemes": list(self.schemes),
+            "steps": self.steps,
+            "seed": self.seed,
+            "passed": self.passed,
+            "injections": [r.to_dict() for r in self.injections],
+            "media": [m.to_dict() for m in self.media],
+        }
+
+    def summary(self) -> str:
+        """A compact per-scheme outcome table."""
+        lines = [
+            f"fault campaign: {len(self.injections)} injections over "
+            f"{len(self.schemes)} scheme(s), {len(self.sites_fired())} "
+            f"distinct sites fired, {len(self.media)} media experiments",
+        ]
+        for r in self.injections:
+            mark = "ok " if r.ok else "FAIL"
+            lines.append(
+                f"  [{mark}] {r.scheme:12s} {r.site:26s} -> {r.outcome}"
+                + ("" if r.outcome == r.expected else f" (expected {r.expected})")
+            )
+        for m in self.media:
+            mark = "ok " if m.ok else "FAIL"
+            lines.append(
+                f"  [{mark}] {m.scheme:12s} media.{m.kind:10s}"
+                f"{'':11s}-> {m.outcome}"
+            )
+        lines.append("PASS" if self.passed else "FAIL: " + "; ".join(self.failures()))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# workload
+# ---------------------------------------------------------------------------
+
+
+def _payload(seed: int, step: int) -> bytes:
+    return hashlib.blake2b(
+        f"faults:{seed}:{step}".encode(), digest_size=64
+    ).digest()
+
+
+class _HotSetWorkload:
+    """Deterministic round-robin over 8 hot blocks on 2 pages.
+
+    160 steps put ~20 updates on every block — past the update-times
+    limit N=16, so designs without a staleness bound (w/o CC) genuinely
+    cannot recover, while bounded designs stay within their retry budget.
+    """
+
+    PAGES = (0x2000, 0x3000)
+    BLOCKS_PER_PAGE = 4
+
+    def __init__(self, steps: int, seed: int) -> None:
+        self.steps = steps
+        self.seed = seed
+        self.addrs = [
+            page + block * 64
+            for page in self.PAGES
+            for block in range(self.BLOCKS_PER_PAGE)
+        ]
+        #: addr -> plaintext of the last *completed* write-back.
+        self.expected: dict[int, bytes] = {}
+        #: (addr, old value, attempted value) of the write-back a crash
+        #: interrupted, or None.
+        self.inflight: tuple[int, bytes | None, bytes] | None = None
+        self.now = 0
+
+    def warmup(self, scheme) -> None:
+        """One unarmed round so every hot block has a committed value."""
+        for i, addr in enumerate(self.addrs):
+            data = _payload(self.seed, -1 - i)
+            scheme.writeback(self.now, addr, data)
+            self.expected[addr] = data
+            self.now += 500
+
+    def main(self, scheme) -> None:
+        """The armed loop; a PowerFailure leaves ``inflight`` set."""
+        for i in range(self.steps):
+            addr = self.addrs[i % len(self.addrs)]
+            data = _payload(self.seed, i)
+            self.inflight = (addr, self.expected.get(addr), data)
+            scheme.writeback(self.now, addr, data)
+            self.expected[addr] = data
+            self.inflight = None
+            self.now += 500
+
+
+# ---------------------------------------------------------------------------
+# the oracle
+# ---------------------------------------------------------------------------
+
+
+def _expected_outcome(scheme_name: str, site: str) -> str:
+    """The differential matrix: what each design's contract promises.
+
+    cc-NVM (both variants) must come back clean from *every* reachable
+    micro-step — that is the paper's claim.  SC and Osiris Plus write
+    the data block before their metadata reaches the root, so a crash
+    exactly inside that window false-alarms their root-freshness check
+    (data intact, replay reported).  w/o CC enforces no staleness bound,
+    so once the hot loop has pushed per-block staleness past N a crash
+    strands unrecoverable blocks (the campaign crashes it at the *last*
+    site visit, where the accumulated staleness is maximal).
+    """
+    if scheme_name.startswith("ccnvm"):
+        return "RECOVERED"
+    if scheme_name in ("sc", "osiris_plus"):
+        return "FALSE_ALARM" if site == "writeback.after_data" else "RECOVERED"
+    if scheme_name == "no_cc":
+        return "DEGRADED"
+    raise ValueError(f"no expected outcome for scheme {scheme_name!r}")
+
+
+def _classify(report) -> str:
+    if any(f.kind == "tree_tampering" for f in report.findings):
+        return "FAILED"
+    if report.unrecoverable_blocks:
+        return "DEGRADED"
+    if report.potential_replay_detected:
+        # No attacker exists in this campaign, so a replay report over a
+        # pure crash is by definition a false alarm.
+        return "FALSE_ALARM"
+    return "RECOVERED" if report.success else "FAILED"
+
+
+def _check_invariants(
+    scheme, report, workload: _HotSetWorkload, problems: list[str]
+) -> None:
+    """The oracle's hard checks, shared by every outcome class."""
+    config: SystemConfig = scheme.config
+
+    if scheme.tcb.root_old != scheme.tcb.root_new:
+        problems.append("TCB roots disagree after recovery")
+    if not scheme.merkle.verify_consistent(scheme.tcb.root_old):
+        problems.append("rebuilt tree does not match the TCB root")
+    if scheme.tcb.recovery_pending:
+        problems.append("recovery_pending still set after recovery returned")
+
+    bound = config.epoch.update_limit * max(1, len(workload.expected))
+    if report.total_retries > bound:
+        problems.append(
+            f"retry total {report.total_retries} exceeds N x blocks = {bound}"
+        )
+
+    unrecoverable = set(report.unrecoverable_blocks)
+    t = workload.now + 100_000
+    for addr in sorted(workload.expected):
+        want = workload.expected[addr]
+        allowed = {want}
+        if workload.inflight is not None and addr == workload.inflight[0]:
+            allowed = {v for v in workload.inflight[1:] if v is not None}
+        try:
+            got, _ = scheme.read(t, addr)
+        except IntegrityError:
+            if addr not in unrecoverable:
+                problems.append(
+                    f"block {addr:#x} unreadable but not reported unrecoverable"
+                )
+            continue
+        if addr in unrecoverable:
+            # A block written off by recovery must not silently read back.
+            problems.append(f"unrecoverable block {addr:#x} read back cleanly")
+        elif got not in allowed:
+            problems.append(f"block {addr:#x} read back a value never written")
+
+    # Usability: a fresh write-back on an untouched page round-trips.
+    probe_addr = 0x7000
+    probe = _payload(workload.seed, 1_000_000)
+    scheme.writeback(t, probe_addr, probe)
+    got, _ = scheme.read(t + 10_000, probe_addr)
+    if got != probe:
+        problems.append("post-recovery write-back did not round-trip")
+
+
+def _discover(scheme_name: str, cfg: CampaignConfig) -> dict[str, int]:
+    """Record how often the workload (and one recovery) visits each site."""
+    scheme = create_scheme(scheme_name, data_capacity=cfg.data_capacity, seed=cfg.seed)
+    injector = FaultInjector()
+    injector.attach(scheme)
+    workload = _HotSetWorkload(cfg.steps, cfg.seed)
+    workload.warmup(scheme)
+    injector.reset_counts()
+    workload.main(scheme)
+    scheme.crash()
+    scheme.recover()
+    return dict(injector.hits)
+
+
+def _inject(scheme_name: str, site: str, hit: int, cfg: CampaignConfig) -> InjectionResult:
+    """Run one crash experiment end to end."""
+    scheme = create_scheme(scheme_name, data_capacity=cfg.data_capacity, seed=cfg.seed)
+    injector = FaultInjector()
+    injector.attach(scheme)
+    workload = _HotSetWorkload(cfg.steps, cfg.seed)
+    workload.warmup(scheme)
+
+    fired = False
+    double_crash = site in RECOVERY_SITES
+    if double_crash:
+        # Crash *recovery*: full workload, power failure, then a second
+        # power failure at the armed site inside the first recovery run.
+        workload.main(scheme)
+        scheme.crash()
+        injector.arm(site, hit)
+        try:
+            scheme.recover()
+        except PowerFailure:
+            fired = True
+            scheme.crash()
+        if not fired:
+            return InjectionResult(
+                scheme_name, site, hit, False, "NOT_REACHED",
+                _expected_outcome(scheme_name, site), False,
+                problems=["armed recovery site never fired"],
+            )
+        report = scheme.recover()
+    else:
+        injector.arm(site, hit)
+        try:
+            workload.main(scheme)
+        except PowerFailure:
+            fired = True
+        if not fired:
+            return InjectionResult(
+                scheme_name, site, hit, False, "NOT_REACHED",
+                "NOT_REACHED", True,
+                notes=["site not reached by this scheme/workload"],
+            )
+        scheme.crash()
+        report = scheme.recover()
+
+    problems: list[str] = []
+    _check_invariants(scheme, report, workload, problems)
+    outcome = _classify(report)
+    if problems:
+        outcome = "FAILED"
+    expected = _expected_outcome(scheme_name, site)
+    notes = list(report.notes)
+    if double_crash:
+        notes.append("double crash: recovery was interrupted and restarted")
+    return InjectionResult(
+        scheme_name,
+        site,
+        hit,
+        fired,
+        outcome,
+        expected,
+        outcome == expected and not problems,
+        total_retries=report.total_retries,
+        nwb=report.nwb,
+        unrecoverable=len(report.unrecoverable_blocks),
+        problems=problems,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# media phase
+# ---------------------------------------------------------------------------
+
+
+def _media_phase(scheme_name: str, cfg: CampaignConfig) -> list[MediaResult]:
+    scheme = create_scheme(scheme_name, data_capacity=cfg.data_capacity, seed=cfg.seed)
+    workload = _HotSetWorkload(cfg.steps, cfg.seed)
+    workload.warmup(scheme)
+    model = MediaFaultModel()
+    scheme.nvm.set_media_model(model)
+    limit = scheme.config.controller.read_retry_limit
+    t = workload.now + 1000
+    results: list[MediaResult] = []
+
+    # Transient fault: absorbed by the controller's bounded retry.
+    addr = workload.addrs[0]
+    model.inject_transient(addr, count=2)
+    try:
+        got, _ = scheme.read(t, addr)
+        if got != workload.expected[addr]:
+            outcome, detail = "wrong_data", "read returned a value never written"
+        elif model.delivered["transient"] != 2:
+            outcome, detail = "not_delivered", "fault schedule never consulted"
+        else:
+            outcome, detail = "absorbed", f"{2} faulty reads retried away"
+    except (PermanentMediaError, IntegrityError) as exc:
+        outcome, detail = "escalated", str(exc)
+    results.append(
+        MediaResult(scheme_name, "transient", addr, outcome, "absorbed",
+                    outcome == "absorbed", detail)
+    )
+
+    # Permanent fault: retry budget exhausts into a located report.
+    addr = workload.addrs[1]
+    model.inject_permanent(addr)
+    try:
+        scheme.read(t + 1000, addr)
+        outcome, detail = "undetected", "stuck line read back without error"
+    except PermanentMediaError as exc:
+        located = (
+            exc.addr == addr
+            and exc.region == "data"
+            and exc.attempts == limit + 1
+        )
+        outcome = "degraded_located" if located else "mislocated"
+        detail = str(exc)
+    model.clear(addr)
+    results.append(
+        MediaResult(scheme_name, "permanent", addr, outcome, "degraded_located",
+                    outcome == "degraded_located", detail)
+    )
+
+    # Silent bit flip: only the data-HMAC layer can catch it.
+    addr = workload.addrs[2]
+    model.inject_silent_bitflip(addr, byte_index=5)
+    try:
+        scheme.read(t + 2000, addr)
+        outcome, detail = "undetected", "corrupted line decrypted without complaint"
+    except IntegrityError as exc:
+        outcome, detail = "detected_by_hmac", str(exc)
+    model.clear(addr)
+    results.append(
+        MediaResult(scheme_name, "silent", addr, outcome, "detected_by_hmac",
+                    outcome == "detected_by_hmac", detail)
+    )
+
+    scheme.nvm.set_media_model(None)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def run_campaign(cfg: CampaignConfig | None = None) -> CampaignResult:
+    """Sweep schemes x crash sites (x media faults) and judge every run."""
+    cfg = cfg or CampaignConfig()
+    result = CampaignResult(schemes=cfg.schemes, steps=cfg.steps, seed=cfg.seed)
+    for scheme_name in cfg.schemes:
+        counts = _discover(scheme_name, cfg)
+        for site in sites_for_scheme(scheme_name):
+            if cfg.sites is not None and site not in cfg.sites:
+                continue
+            count = counts.get(site, 0)
+            if count == 0:
+                result.injections.append(
+                    InjectionResult(
+                        scheme_name, site, 0, False, "NOT_REACHED",
+                        "NOT_REACHED", True,
+                        notes=["site not reached by this scheme/workload"],
+                    )
+                )
+                continue
+            # Crash at the middle visit so both earlier and later
+            # protocol activity surround the failure.  The design with
+            # no staleness bound is instead crashed at the last visit:
+            # mid-loop its counters are ≤ N updates stale and roll
+            # forward fine — only the accumulated tail shows the miss.
+            if site in RECOVERY_SITES:
+                hit = 1
+            elif scheme_name == "no_cc":
+                hit = count
+            else:
+                hit = max(1, count // 2)
+            result.injections.append(_inject(scheme_name, site, hit, cfg))
+        if cfg.media:
+            result.media.extend(_media_phase(scheme_name, cfg))
+    return result

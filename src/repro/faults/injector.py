@@ -1,0 +1,87 @@
+"""The fault injector: deterministic crashes at named micro-steps.
+
+The injector is a callable that plugs into the plain ``fault_hook``
+attributes the core exposes (scheme, WPQ, dirty address queue; the
+recovery manager inherits the scheme's hook).  It runs in one of two
+modes:
+
+* **discovery** (default) — count how many times each site is visited by
+  a given workload, without interfering.  Campaigns use a discovery pass
+  to learn which sites a scheme/workload pair can reach and how often,
+  then pick a deterministic visit (e.g. the middle one) to crash at;
+* **armed** — raise :class:`PowerFailure` at exactly the *n*-th visit of
+  one site, then disarm, so the crash is reproducible and a subsequent
+  recovery run is not re-crashed unless re-armed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.faults.plan import ALL_SITE_NAMES, PowerFailure
+
+
+class FaultInjector:
+    """Counts site visits and, when armed, crashes at a chosen one."""
+
+    def __init__(self) -> None:
+        #: Visits per site since construction (or :meth:`reset_counts`).
+        self.hits: Counter[str] = Counter()
+        self._armed_site: str | None = None
+        self._armed_hit = 0
+        #: Total injected power failures.
+        self.fired = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, scheme) -> None:
+        """Install this injector's hook on *scheme* and its components.
+
+        Covers the scheme itself (write-back/drain/recovery sites — the
+        scheme forwards its hook to the recovery manager), its WPQ, and
+        its dirty address queue when the design has one.
+        """
+        scheme.fault_hook = self
+        scheme.wpq.fault_hook = self
+        queue = getattr(scheme, "queue", None)
+        if queue is not None:
+            queue.fault_hook = self
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(self, site: str, hit: int = 1) -> None:
+        """Crash at the *hit*-th visit of *site* (counted from now on).
+
+        Raises ``ValueError`` for names not in the registry — arming a
+        typo would otherwise silently never fire.
+        """
+        if site not in ALL_SITE_NAMES:
+            raise ValueError(f"unknown fault site {site!r}")
+        if hit < 1:
+            raise ValueError("hit numbers are 1-based")
+        self._armed_site = site
+        self._armed_hit = hit
+        self.hits[site] = 0
+
+    def disarm(self) -> None:
+        """Cancel any armed crash (visit counting continues)."""
+        self._armed_site = None
+        self._armed_hit = 0
+
+    @property
+    def armed(self) -> str | None:
+        """The armed site name, or ``None`` in discovery mode."""
+        return self._armed_site
+
+    def reset_counts(self) -> None:
+        """Zero the visit counters (e.g. between discovery phases)."""
+        self.hits.clear()
+
+    # -- the hook -------------------------------------------------------------
+
+    def __call__(self, site: str) -> None:
+        self.hits[site] += 1
+        if site == self._armed_site and self.hits[site] == self._armed_hit:
+            self.disarm()
+            self.fired += 1
+            raise PowerFailure(site)

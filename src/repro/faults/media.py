@@ -1,0 +1,90 @@
+"""NVM media-fault model: transient, permanent and silent read faults.
+
+Plugs into :class:`~repro.mem.nvm.NVMDevice` via ``set_media_model``.
+Three fault classes, mirroring how real PCM fails:
+
+* **transient** — resistance-drift style faults the device's ECC detects
+  but cannot correct.  The read raises
+  :class:`~repro.mem.nvm.TransientReadFault`; the memory controller
+  absorbs it with bounded retry-with-backoff (drift faults usually clear
+  on a re-read).  Modeled as "the next *k* reads of this line fault";
+* **permanent** — a stuck line: every read faults, so the controller's
+  retry budget runs out and it raises
+  :class:`~repro.mem.nvm.PermanentMediaError` carrying the located
+  address/region — graceful degradation with a report, never a silent
+  wrong answer;
+* **silent** — a corruption ECC misses.  The device delivers a
+  bit-flipped line; only the integrity layer (data HMAC / Merkle check)
+  can notice, which is exactly the paper's argument for authenticating
+  everything that crosses the chip boundary.
+"""
+
+from __future__ import annotations
+
+
+class MediaFaultModel:
+    """Per-address fault schedule consulted by the NVM device on reads."""
+
+    def __init__(self) -> None:
+        #: addr -> remaining ECC-detectable faulty reads.
+        self._transient: dict[int, int] = {}
+        #: Addresses that fault on every read.
+        self._permanent: set[int] = set()
+        #: addr -> byte index whose lowest bit is flipped on delivery.
+        self._silent: dict[int, int] = {}
+        #: Faults delivered, per class.
+        self.delivered = {"transient": 0, "permanent": 0, "silent": 0}
+
+    # -- scheduling -----------------------------------------------------------
+
+    def inject_transient(self, addr: int, count: int = 1) -> None:
+        """Make the next *count* reads of *addr* fault detectably."""
+        if count < 1:
+            raise ValueError("transient faults need a positive read count")
+        self._transient[addr] = count
+
+    def inject_permanent(self, addr: int) -> None:
+        """Make every read of *addr* fault detectably (a stuck line)."""
+        self._permanent.add(addr)
+
+    def inject_silent_bitflip(self, addr: int, byte_index: int = 0) -> None:
+        """Deliver *addr* with one flipped bit and no ECC indication."""
+        if not 0 <= byte_index < 64:
+            raise ValueError("byte index must address one of the 64 line bytes")
+        self._silent[addr] = byte_index
+
+    def clear(self, addr: int | None = None) -> None:
+        """Heal *addr* (or, with ``None``, every scheduled fault)."""
+        if addr is None:
+            self._transient.clear()
+            self._permanent.clear()
+            self._silent.clear()
+            return
+        self._transient.pop(addr, None)
+        self._permanent.discard(addr)
+        self._silent.pop(addr, None)
+
+    # -- the device-side protocol ---------------------------------------------
+
+    def on_read(self, addr: int) -> str | None:
+        """Classify this read: ``None`` | ``'detectable'`` | ``'silent'``."""
+        if addr in self._permanent:
+            self.delivered["permanent"] += 1
+            return "detectable"
+        remaining = self._transient.get(addr, 0)
+        if remaining > 0:
+            if remaining == 1:
+                del self._transient[addr]
+            else:
+                self._transient[addr] = remaining - 1
+            self.delivered["transient"] += 1
+            return "detectable"
+        if addr in self._silent:
+            self.delivered["silent"] += 1
+            return "silent"
+        return None
+
+    def corrupt(self, addr: int, line: bytes) -> bytes:
+        """The silently corrupted image of *line* (one flipped bit)."""
+        i = self._silent[addr]
+        return line[:i] + bytes([line[i] ^ 0x01]) + line[i + 1:]

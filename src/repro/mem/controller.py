@@ -28,7 +28,7 @@ from collections import deque
 
 from repro.common.config import SystemConfig
 from repro.common.stats import StatGroup
-from repro.mem.nvm import NVMDevice
+from repro.mem.nvm import NVMDevice, PermanentMediaError, TransientReadFault
 from repro.mem.wpq import WritePendingQueue
 
 
@@ -61,6 +61,18 @@ class MemoryController:
         self._write_stalls = self._stats.counter("write_stall_cycles")
         self._reads_issued = self._stats.counter("reads_issued")
         self._writes_issued = self._stats.counter("writes_issued")
+        self._media_retries = self._stats.counter(
+            "media_read_retries", "re-reads after ECC-detected media faults"
+        )
+        self._media_absorbed = self._stats.counter(
+            "media_faults_absorbed", "faulty reads recovered by retry"
+        )
+        self._media_failures = self._stats.counter(
+            "media_permanent_failures", "lines given up on after the retry budget"
+        )
+        self._media_backoff = self._stats.counter(
+            "media_backoff_cycles", "cycles spent backing off between retries"
+        )
 
     @property
     def stats(self) -> StatGroup:
@@ -70,6 +82,40 @@ class MemoryController:
     def _drain_completed(self, now: int) -> None:
         while self._pending_writes and self._pending_writes[0] <= now:
             self._pending_writes.popleft()
+
+    # -- functional read path (media-fault aware) ----------------------------------
+
+    def read_line(self, addr: int) -> bytes:
+        """Read one line, absorbing transient media faults by bounded retry.
+
+        An ECC-detected fault is retried up to ``read_retry_limit`` times
+        with exponential backoff (the backoff occupies the read port, so
+        it shows up in subsequent read latencies).  A line still faulty
+        after the budget raises :class:`PermanentMediaError` carrying the
+        located address and region — graceful degradation is the caller's
+        job, but the failure is never silent.
+        """
+        limit = self.config.controller.read_retry_limit
+        backoff = self.config.controller.read_retry_backoff_cycles
+        attempt = 0
+        while True:
+            try:
+                data = self.nvm.read_line(addr)
+            except TransientReadFault:
+                attempt += 1
+                self._media_retries.inc()
+                if attempt > limit:
+                    self._media_failures.inc()
+                    raise PermanentMediaError(
+                        addr, self.nvm.layout.region_of(addr), attempt
+                    ) from None
+                self._media_backoff.inc(backoff)
+                self._read_free_at += backoff
+                backoff *= 2
+                continue
+            if attempt:
+                self._media_absorbed.inc()
+            return data
 
     # -- timing interface ---------------------------------------------------------
 

@@ -23,6 +23,37 @@ from repro.metadata.layout import MemoryLayout
 _ZERO_LINE = bytes(CACHE_LINE_SIZE)
 
 
+class TransientReadFault(Exception):
+    """One device read returned an ECC-detected media fault.
+
+    Raised by :meth:`NVMDevice.read_line` when an armed media-fault model
+    (:mod:`repro.faults.media`) schedules a fault for this read.  The
+    memory controller absorbs these with bounded retry-with-backoff; the
+    device itself never retries.
+    """
+
+    def __init__(self, addr: int) -> None:
+        super().__init__(f"ECC-detected read fault at NVM line {addr:#x}")
+        self.addr = addr
+
+
+class PermanentMediaError(Exception):
+    """A line failed every retry the controller's budget allows.
+
+    Carries enough context (address, region, attempts) for callers to
+    degrade gracefully with a located report instead of crashing.
+    """
+
+    def __init__(self, addr: int, region: str, attempts: int) -> None:
+        super().__init__(
+            f"NVM line {addr:#x} ({region} region) still faulty after "
+            f"{attempts} read attempts: media failure"
+        )
+        self.addr = addr
+        self.region = region
+        self.attempts = attempts
+
+
 class NVMDevice:
     """The persistent, *untrusted* memory device.
 
@@ -44,6 +75,10 @@ class NVMDevice:
         #: never-written lines (the format-time genesis image).  ``None``
         #: falls back to all-zero lines.
         self._initializer = initializer
+        #: Optional media-fault model (see :mod:`repro.faults.media`).
+        #: Consulted on every :meth:`read_line`; ``None`` means a
+        #: fault-free device.
+        self._media = None
         self._stats = stats if stats is not None else StatGroup("nvm")
         self._reads = self._stats.group("reads")
         self._writes = self._stats.group("writes")
@@ -70,13 +105,38 @@ class NVMDevice:
         """Install the ``addr -> bytes`` provider for never-written lines."""
         self._initializer = initializer
 
+    def set_media_model(self, media) -> None:
+        """Install (or with ``None`` remove) a media-fault model.
+
+        The model's ``on_read(addr)`` is consulted on every
+        :meth:`read_line` and returns ``None`` (healthy), ``"detectable"``
+        (ECC catches the fault — the read raises
+        :class:`TransientReadFault`) or ``"silent"`` (the corrupted line is
+        delivered; only the HMAC layer can notice).
+        """
+        self._media = media
+
     def read_line(self, addr: int) -> bytes:
-        """Read one 64 B line (the genesis image if never written)."""
+        """Read one 64 B line (the genesis image if never written).
+
+        Raises :class:`TransientReadFault` when the armed media model
+        schedules an ECC-detected fault for this read; silently corrupted
+        lines (faults ECC misses) are returned as-is and left for the
+        integrity layer to catch.
+        """
         self._check(addr)
         self._read_total.inc()
         self._reads.counter(self.layout.region_of(addr)).inc()
         line = self._lines.get(addr)
-        return line if line is not None else self._virgin(addr)
+        if line is None:
+            line = self._virgin(addr)
+        if self._media is not None:
+            action = self._media.on_read(addr)
+            if action == "detectable":
+                raise TransientReadFault(addr)
+            if action == "silent":
+                return self._media.corrupt(addr, line)
+        return line
 
     def write_line(self, addr: int, data: bytes) -> None:
         """Write one 64 B line."""

@@ -36,6 +36,10 @@ class WritePendingQueue:
         self.nvm = nvm
         self.entries = entries
         self._batch: list[tuple[int, bytes]] | None = None
+        #: Optional fault-injection callback (see :mod:`repro.faults`):
+        #: called with a dotted site name at every instrumented
+        #: micro-step of the atomic draining protocol.
+        self.fault_hook = None
         self._stats = stats if stats is not None else StatGroup("wpq")
         self._normal_writes = self._stats.counter("normal_writes")
         self._batched_writes = self._stats.counter("batched_writes")
@@ -47,6 +51,10 @@ class WritePendingQueue:
     def stats(self) -> StatGroup:
         """WPQ statistics (batch sizes, commit/drop counts)."""
         return self._stats
+
+    def _fault(self, site: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(site)
 
     @property
     def in_atomic_batch(self) -> bool:
@@ -77,6 +85,7 @@ class WritePendingQueue:
         if self._batch is not None:
             raise AtomicBatchError("atomic batches cannot nest")
         self._batch = []
+        self._fault("wpq.after_start")
 
     def write_atomic(self, addr: int, data: bytes) -> None:
         """Block one metadata line inside the WPQ until the ``end`` signal."""
@@ -87,6 +96,7 @@ class WritePendingQueue:
                 f"atomic batch exceeds the {self.entries}-entry WPQ"
             )
         self._batch.append((addr, bytes(data)))
+        self._fault("wpq.mid_batch")
 
     def commit_atomic(self) -> int:
         """The drainer's ``end`` signal: release the batch to NVM.
@@ -96,9 +106,11 @@ class WritePendingQueue:
         """
         if self._batch is None:
             raise AtomicBatchError("no atomic batch in progress")
+        self._fault("wpq.before_end")
         batch, self._batch = self._batch, None
         for addr, data in batch:
             self.nvm.write_line(addr, data)
+        self._fault("wpq.after_end")
         self._batched_writes.inc(len(batch))
         self._batches_committed.inc()
         self._batch_size_dist.sample(len(batch))

@@ -78,10 +78,16 @@ class MetadataStore:
         tcb: TCB,
         genesis: GenesisImage,
         stats: StatGroup | None = None,
+        reader=None,
     ) -> None:
         self.config = config
         self.cache = cache
         self.nvm = nvm
+        #: ``addr -> bytes`` used for device reads during verification
+        #: walks.  Defaults to the raw device; schemes pass the memory
+        #: controller's retrying ``read_line`` so transient media faults
+        #: are absorbed before a line is HMAC-checked.
+        self._read_line = reader if reader is not None else nvm.read_line
         self.layout: MemoryLayout = nvm.layout
         self.engine = engine
         self.tcb = tcb
@@ -191,7 +197,7 @@ class MetadataStore:
         node_addr = addr
         cycles = self._hit_latency  # the lookup that missed
         while True:
-            raw = self.nvm.read_line(node_addr)
+            raw = self._read_line(node_addr)
             cycles += self._read_cycles
             chain.append((node, node_addr, raw))
             if node.level + 1 == layout.num_levels:

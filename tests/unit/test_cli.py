@@ -27,6 +27,18 @@ class TestParser:
         assert args.scheme == "ccnvm"
         assert args.length == 4000
 
+    def test_faults_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
+    def test_faults_run_validates_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "run", "--schemes", "magic"])
+
+    def test_faults_run_defaults(self):
+        args = build_parser().parse_args(["faults", "run", "--smoke"])
+        assert args.smoke and args.schemes is None and args.export is None
+
 
 class TestCommands:
     def test_info_runs(self, capsys):
@@ -47,6 +59,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cc-NVM on namd" in out
         assert "IPC" in out
+
+    def test_faults_sites_lists_catalogue(self, capsys):
+        assert main(["faults", "sites"]) == 0
+        out = capsys.readouterr().out
+        assert "writeback.after_data" in out
+        assert "recovery.before_root_set" in out
+        assert "reached by: ccnvm_no_ds, ccnvm" in out
+
+    def test_faults_run_restricted(self, capsys, tmp_path):
+        assert main([
+            "faults", "run", "--schemes", "ccnvm",
+            "--sites", "wpq.before_end", "--steps", "48",
+            "--export", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert (tmp_path / "fault_campaign.csv").exists()
+        assert (tmp_path / "fault_campaign.json").exists()
 
     @pytest.mark.slow
     def test_evaluate_runs_small(self, capsys):

@@ -1,0 +1,204 @@
+"""Unit tests for the fault injector and the hard crash edges it arms.
+
+The edges the paper's protocol lives or dies on: a power failure with an
+empty vs. a full (un-ended) atomic batch, dropping the volatile dirty
+address queue and starting a fresh epoch, and a second crash landing in
+the middle of recovery itself.
+"""
+
+import pytest
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.core.schemes import create_scheme
+from repro.faults import (
+    ALL_SITE_NAMES,
+    RECOVERY_SITES,
+    SITES,
+    FaultInjector,
+    PowerFailure,
+    sites_for_scheme,
+)
+from repro.mem.nvm import NVMDevice
+from repro.mem.wpq import WritePendingQueue
+from repro.metadata.layout import MemoryLayout
+
+from tests.conftest import TINY_CAPACITY, payload
+
+LINE = bytes([0x5A]) * CACHE_LINE_SIZE
+
+
+class TestInjectorMechanics:
+    def test_arming_unknown_site_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="unknown fault site"):
+            injector.arm("writeback.no_such_step")
+        with pytest.raises(ValueError, match="1-based"):
+            injector.arm("writeback.after_data", hit=0)
+
+    def test_discovery_counts_without_firing(self):
+        injector = FaultInjector()
+        for _ in range(3):
+            injector("wpq.mid_batch")
+        assert injector.hits["wpq.mid_batch"] == 3
+        assert injector.fired == 0
+
+    def test_fires_at_exact_hit_then_disarms(self):
+        injector = FaultInjector()
+        injector.arm("wpq.mid_batch", hit=2)
+        injector("wpq.mid_batch")  # visit 1: no crash
+        with pytest.raises(PowerFailure) as exc:
+            injector("wpq.mid_batch")
+        assert exc.value.site == "wpq.mid_batch"
+        # Disarmed: further visits (e.g. during recovery) pass through.
+        injector("wpq.mid_batch")
+        assert injector.armed is None
+        assert injector.fired == 1
+
+    def test_registry_covers_every_scheme(self):
+        assert len(SITES) == len(ALL_SITE_NAMES) == 15
+        assert RECOVERY_SITES == {
+            "recovery.after_counters",
+            "recovery.mid_rebuild",
+            "recovery.before_root_set",
+        }
+        # The epoch-protocol sites exist only for the cc-NVM variants.
+        assert "daq.after_reserve" in sites_for_scheme("ccnvm")
+        assert "daq.after_reserve" not in sites_for_scheme("sc")
+        assert sites_for_scheme("no_cc") == (
+            "writeback.before_data", "writeback.after_data",
+            "recovery.after_counters", "recovery.mid_rebuild",
+            "recovery.before_root_set",
+        )
+
+
+class TestWPQCrashEdges:
+    """ADR resolution with an empty vs. a full un-ended batch."""
+
+    @pytest.fixture
+    def wpq(self):
+        nvm = NVMDevice(MemoryLayout(1 << 20))
+        return WritePendingQueue(nvm, entries=8)
+
+    def test_power_failure_outside_batch_drops_nothing(self, wpq):
+        wpq.write(0, LINE)
+        assert wpq.power_failure() == 0
+        assert wpq.nvm.peek(0) == LINE  # normal writes were already durable
+
+    def test_power_failure_with_empty_open_batch(self, wpq):
+        wpq.begin_atomic()
+        assert wpq.power_failure() == 0
+        assert not wpq.in_atomic_batch  # crash resolved the open batch
+
+    def test_power_failure_drops_full_batch_wholesale(self, wpq):
+        wpq.write(0, LINE)
+        wpq.begin_atomic()
+        for i in range(1, 4):
+            wpq.write_atomic(i * 64, LINE)
+        assert wpq.power_failure() == 3
+        assert not wpq.in_atomic_batch
+        assert wpq.nvm.peek(0) == LINE
+        for i in range(1, 4):
+            assert wpq.nvm.peek(i * 64) == bytes(CACHE_LINE_SIZE)
+        assert wpq.stats.counter("batches_dropped").value == 1
+
+    def test_injected_crash_before_end_drops_batch(self, wpq):
+        injector = FaultInjector()
+        wpq.fault_hook = injector
+        injector.arm("wpq.before_end")
+        wpq.begin_atomic()
+        wpq.write_atomic(64, LINE)
+        with pytest.raises(PowerFailure):
+            wpq.commit_atomic()
+        assert wpq.power_failure() == 1
+        assert wpq.nvm.peek(64) == bytes(CACHE_LINE_SIZE)
+
+    def test_injected_crash_after_end_keeps_batch(self, wpq):
+        injector = FaultInjector()
+        wpq.fault_hook = injector
+        injector.arm("wpq.after_end")
+        wpq.begin_atomic()
+        wpq.write_atomic(64, LINE)
+        with pytest.raises(PowerFailure):
+            wpq.commit_atomic()
+        # ADR: the end signal was given, so the batch is already in NVM.
+        assert wpq.power_failure() == 0
+        assert wpq.nvm.peek(64) == LINE
+
+
+class TestDirtyQueueCrashEdges:
+    """The volatile DAQ is dropped on crash and a fresh epoch begins."""
+
+    def test_daq_dropped_and_new_epoch_opens(self):
+        scheme = create_scheme("ccnvm", data_capacity=TINY_CAPACITY)
+        injector = FaultInjector()
+        injector.attach(scheme)
+        for i in range(4):
+            scheme.writeback(i * 1000, 0x2000 + i * 64, payload(i))
+        assert len(scheme.queue) > 0
+        root_before = scheme.tcb.root_old
+
+        injector.arm("daq.after_reserve")
+        with pytest.raises(PowerFailure):
+            scheme.writeback(5000, 0x2100, payload(9))
+        scheme.crash()
+        assert len(scheme.queue) == 0  # volatile queue lost with power
+        assert scheme.tcb.root_old == root_before  # epoch never committed
+
+        report = scheme.recover()
+        assert report.success
+        # The next epoch starts from scratch and can commit: push one
+        # block past the update-times limit to force a drain.
+        limit = scheme.config.epoch.update_limit
+        t = 10_000
+        for i in range(limit + 1):
+            scheme.writeback(t, 0x2000, payload(50 + i))
+            t += 1000
+        assert scheme.tcb.root_old != root_before
+        assert scheme.tcb.root_old == scheme.tcb.root_new
+
+    def test_crash_mid_drain_drops_queue_and_recovers(self):
+        scheme = create_scheme("ccnvm", data_capacity=TINY_CAPACITY)
+        injector = FaultInjector()
+        injector.attach(scheme)
+        injector.arm("daq.before_commit")
+        limit = scheme.config.epoch.update_limit
+        t = 0
+        with pytest.raises(PowerFailure):
+            for i in range(limit + 1):
+                scheme.writeback(t, 0x2000, payload(i))
+                t += 1000
+        scheme.crash()
+        report = scheme.recover()
+        assert report.success
+        got, _ = scheme.read(t + 10_000, 0x2000)
+        assert got in (payload(limit - 1), payload(limit))  # last or in-flight
+
+
+class TestDoubleCrash:
+    """A second power failure in the middle of recovery must be survivable."""
+
+    @pytest.mark.parametrize("site", sorted(RECOVERY_SITES))
+    def test_crash_during_recovery_is_restartable(self, site):
+        scheme = create_scheme("ccnvm", data_capacity=TINY_CAPACITY)
+        injector = FaultInjector()
+        injector.attach(scheme)
+        t = 0
+        for i in range(6):
+            scheme.writeback(t, 0x3000 + (i % 3) * 64, payload(i))
+            t += 1000
+        scheme.crash()
+
+        injector.arm(site, hit=1)
+        with pytest.raises(PowerFailure):
+            scheme.recover()
+        assert scheme.tcb.recovery_pending  # persisted across the crash
+        scheme.crash()
+
+        report = scheme.recover()
+        assert report.success
+        assert not scheme.tcb.recovery_pending
+        assert scheme.tcb.root_old == scheme.tcb.root_new
+        assert any("resumed" in note for note in report.notes)
+        for i in range(3):
+            got, _ = scheme.read(t + i * 1000, 0x3000 + i * 64)
+            assert got == payload(3 + i)  # the last value written per block

@@ -78,7 +78,7 @@ class TestBusyUntil:
     def test_drain_extends_busy_and_hard_cycles(self, config):
         scheme = fresh("ccnvm", config.with_epoch(update_limit=2))
         t = 0
-        for i in range(3):  # third update of the line exceeds N=2
+        for i in range(2):  # second update of the line reaches N=2
             scheme.writeback(t, 0x1000, payload(i))
             t += 100_000
         assert scheme.queue.drains_by_trigger()["update_limit"] >= 1
