@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from repro.common.config import SystemConfig
 from repro.analysis.report import (
-    FIGURE5_SCHEMES,
     FigureTable,
     HeadlineNumbers,
     SensitivitySeries,

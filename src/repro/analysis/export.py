@@ -102,6 +102,15 @@ def campaign_to_csv(result) -> str:
     return buffer.getvalue()
 
 
+def lint_to_json(report) -> str:
+    """JSON document for a persist-order lint run (``LintReport``).
+
+    Same shape as ``repro lint --json``: run metadata, per-rule charters,
+    unbaselined findings, baselined findings and stale baseline keys.
+    """
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
 def ascii_bars(table: FigureTable, width: int = 40, ceiling: float | None = None) -> str:
     """A grouped horizontal bar chart, one group per workload.
 

@@ -9,7 +9,9 @@ Commands:
 * ``simulate`` — run one workload on one design and dump statistics;
 * ``faults run`` — the fault-injection campaign (crash sites x schemes x
   media faults) judged by the differential recovery oracle;
-* ``faults sites`` — the catalogue of instrumented crash sites.
+* ``faults sites`` — the catalogue of instrumented crash sites;
+* ``lint`` — the persistence-domain static analyzer (persist-order
+  rules P0-P5, crash-site coverage, scheme contract).
 """
 
 from __future__ import annotations
@@ -161,6 +163,38 @@ def cmd_faults_sites(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.lint import LintConfig, run_lint, write_baseline
+
+    root = Path(args.root) if args.root else Path(repro.__file__).resolve().parent
+    base_dir = root.parent
+    if args.baseline:
+        baseline = Path(args.baseline)
+    else:
+        candidates = (
+            Path.cwd() / "lint-baseline.txt",
+            base_dir.parent / "lint-baseline.txt",
+        )
+        baseline = next((c for c in candidates if c.exists()), None)
+    config = LintConfig(root=root, base_dir=base_dir, baseline_path=baseline)
+    report = run_lint(config)
+    if args.update_baseline:
+        target = Path(args.baseline) if args.baseline else Path.cwd() / "lint-baseline.txt"
+        count = write_baseline(report, target)
+        print(f"wrote {count} baseline entr(y/ies) to {target}")
+        return 0
+    if args.json:
+        from repro.analysis.export import lint_to_json
+
+        print(lint_to_json(report))
+    else:
+        print(report.render_text())
+    return 0 if report.ok(strict=args.strict) else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="cc-NVM (DAC 2019) reproduction"
@@ -215,6 +249,20 @@ def build_parser() -> argparse.ArgumentParser:
     fsub.add_parser(
         "sites", help="list the instrumented crash sites"
     ).set_defaults(func=cmd_faults_sites)
+
+    lint = sub.add_parser("lint", help="persistence-domain static analysis")
+    lint.add_argument("--root", default=None, metavar="DIR",
+                      help="tree to analyze (default: the installed repro package)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="accepted-findings file "
+                           "(default: ./lint-baseline.txt when present)")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable report")
+    lint.add_argument("--strict", action="store_true",
+                      help="also fail on stale baseline entries")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -1,0 +1,19 @@
+"""Shared infrastructure: config, stats, constants, persistence domains."""
+
+from repro.common.persistence import (
+    DomainDeclaration,
+    declaration,
+    is_declared,
+    persistence,
+    persistent_attrs,
+    volatile_attrs,
+)
+
+__all__ = [
+    "DomainDeclaration",
+    "declaration",
+    "is_declared",
+    "persistence",
+    "persistent_attrs",
+    "volatile_attrs",
+]

@@ -26,7 +26,7 @@ finished); :attr:`now` exposes the running cycle count.
 
 from __future__ import annotations
 
-from repro.common.address import line_align, lines_covering
+from repro.common.address import lines_covering
 from repro.common.config import SystemConfig
 from repro.common.constants import CACHE_LINE_SIZE
 from repro.core.attacks import Attacker

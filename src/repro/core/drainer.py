@@ -30,6 +30,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from enum import Enum
 
+from repro.common.persistence import persistence
 from repro.common.stats import StatGroup
 
 
@@ -43,6 +44,10 @@ class DrainTrigger(Enum):
     FLUSH = "flush"
 
 
+@persistence(
+    volatile=("_queue", "_writebacks_this_epoch"),
+    aka=("queue",),
+)
 class DirtyAddressQueue:
     """The drainer's bounded, deduplicating address queue."""
 

@@ -381,7 +381,7 @@ class RecoveryManager:
         if self.policy.check_tree_against and not resumed:
             self._check_tree(report)
 
-        self.tcb.recovery_pending = True
+        self.tcb.begin_recovery()
         recovered, leaf_retries, rolled_leaves = self._recover_counters(report)
         self._fault("recovery.after_counters")
         root = self._apply(recovered)

@@ -36,6 +36,7 @@ from abc import ABC, abstractmethod
 from repro.common.address import page_align
 from repro.common.config import SystemConfig
 from repro.common.constants import MINOR_COUNTER_MAX
+from repro.common.persistence import persistence
 from repro.common.stats import StatGroup
 from repro.core.tcb import TCB
 from repro.crypto.cme import CounterModeCipher
@@ -52,6 +53,16 @@ from repro.metadata.merkle import MerkleTree, write_slot
 from repro.metadata.metacache import MetadataStore
 
 
+@persistence(
+    volatile=(
+        "meta",
+        "busy_until",
+        "writeback_hard_cycles",
+        "_propagation_queue",
+        "_propagating",
+    ),
+    aka=("scheme",),
+)
 class SecureNVMScheme(ABC):
     """Base of the five designs: w/o CC, SC, Osiris Plus, cc-NVM (±DS)."""
 

@@ -30,6 +30,7 @@ major generation.
 from __future__ import annotations
 
 from repro.common.config import SystemConfig
+from repro.common.persistence import persistence
 from repro.common.stats import StatGroup
 from repro.core.drainer import DirtyAddressQueue, DrainTrigger
 from repro.core.recovery import RecoveryManager, RecoveryPolicy, RecoveryReport
@@ -38,6 +39,15 @@ from repro.mem.cache import CacheLine
 from repro.metadata.merkle import write_slot
 
 
+@persistence(
+    volatile=(
+        "queue",
+        "_draining",
+        "_in_writeback",
+        "_insert_cycles",
+        "_pending_trigger",
+    ),
+)
 class CcNVM(SecureNVMScheme):
     """The paper's ``cc-NVM`` (and, with ``deferred_spreading=False``,
     its ``cc-NVM w/o DS`` ablation)."""

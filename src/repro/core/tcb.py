@@ -19,9 +19,29 @@ that split.
 from __future__ import annotations
 
 from repro.common.constants import CACHE_LINE_SIZE, MERKLE_ARITY
+from repro.common.persistence import persistence
 from repro.crypto.prf import SecretKey
 
 
+@persistence(
+    persistent=(
+        "root_new",
+        "root_old",
+        "nwb",
+        "counter_log",
+        "recovery_pending",
+    ),
+    aka=("tcb",),
+    mutators=(
+        "update_root_new",
+        "set_root_new",
+        "commit_root",
+        "set_roots",
+        "count_writeback",
+        "log_counter_update",
+        "begin_recovery",
+    ),
+)
 class TCB:
     """On-chip secure state: keys and persistent registers."""
 
@@ -83,6 +103,15 @@ class TCB:
         self.nwb = 0
         self.counter_log.clear()
         self.recovery_pending = False
+
+    def begin_recovery(self) -> None:
+        """Set the persistent ``recovery_pending`` flag.
+
+        Called by the recovery manager immediately before it starts
+        mutating the NVM image, so a crash *during* recovery is visible
+        to the next attempt.  Only :meth:`set_roots` clears the flag.
+        """
+        self.recovery_pending = True
 
     # -- write-back accounting -------------------------------------------------------
 

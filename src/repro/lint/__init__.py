@@ -1,0 +1,26 @@
+"""Persistence-domain static analyzer (``repro lint``).
+
+Checks the cc-NVM simulator's write-ordering discipline without running
+it: persistent-domain stores (P1), crash-site registry coherence and
+persist-point coverage (P2), atomic-batch bracketing (P3), volatile
+reads on recovery paths (P4) and the scheme contract (P5).  See
+DESIGN.md's persistence-domain section for the rule rationale and the
+baseline workflow.
+"""
+
+from repro.lint.findings import RULES, Baseline, Finding, sort_findings
+from repro.lint.model import CodeModel, build_model
+from repro.lint.runner import LintConfig, LintReport, run_lint, write_baseline
+
+__all__ = [
+    "RULES",
+    "Baseline",
+    "CodeModel",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "build_model",
+    "run_lint",
+    "sort_findings",
+    "write_baseline",
+]

@@ -1,0 +1,384 @@
+"""The persist-order rule passes (P0-P5).
+
+Each pass is a pure function of the :class:`~repro.lint.model.CodeModel`
+and the run configuration, returning :class:`~repro.lint.findings.Finding`
+objects.  The rules encode cc-NVM's write-ordering discipline
+(PAPER.md §4.2-4.4):
+
+* **P0** — the declaration layer itself must be statically readable.
+* **P1** — persistent attributes are assigned only inside the owning
+  class; everywhere else mutation must go through the owner's sanctioned
+  micro-ops (TCB register ops, WPQ ``write``/``write_atomic``/...).
+* **P2** — the crash-site registry and the instrumented code agree in
+  both directions, and every persist point (atomic-batch signals, TCB
+  root commits) executes under crash-site coverage so the fault campaign
+  can actually reach it.
+* **P3** — an atomic batch opens, fills and commits within a single
+  function: no split batches, no unbalanced ``begin``/``commit``.
+* **P4** — recovery-path code never reads volatile-domain attributes;
+  after a crash only the NVM image and the persistent TCB registers
+  exist, so consulting volatile state is a latent use-of-lost-state bug.
+* **P5** — every scheme subclass implements the full
+  ``SecureNVMScheme`` contract (the abstract write/evict/flush/recover
+  seams).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.model import (
+    FAULT_CALL_NAMES,
+    CodeModel,
+    Scope,
+    call_name,
+    receiver_name,
+)
+
+#: Calls that advance persistent state wholesale — each must run under
+#: crash-site coverage (rule P2) so the campaign can crash around it.
+PERSIST_POINTS = ("begin_atomic", "commit_atomic", "commit_root", "set_roots")
+
+#: The atomic draining protocol's WPQ signals (rule P3).
+ATOMIC_OPS = ("begin_atomic", "write_atomic", "commit_atomic")
+
+
+def _assign_targets(node: ast.AST):
+    """Flatten the attribute targets of any assignment statement."""
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    else:
+        return
+    while targets:
+        target = targets.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            targets.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            targets.append(target.value)
+        elif isinstance(target, ast.Attribute):
+            yield target
+
+
+def _function_scopes(model: CodeModel):
+    for scope in model.scopes:
+        if isinstance(scope.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield scope
+
+
+# ---------------------------------------------------------------------------
+# P0 — declaration hygiene
+# ---------------------------------------------------------------------------
+
+def rule_p0(model: CodeModel, config) -> list[Finding]:
+    """Problems found while reading the declaration layer."""
+    return list(model.problems)
+
+
+# ---------------------------------------------------------------------------
+# P1 — persistent-domain stores
+# ---------------------------------------------------------------------------
+
+def rule_p1(model: CodeModel, config) -> list[Finding]:
+    findings = []
+    for scope in model.scopes:
+        for node in scope.walk_own():
+            for target in _assign_targets(node):
+                finding = _check_store(model, scope, target)
+                if finding is not None:
+                    findings.append(finding)
+    return findings
+
+
+def _check_store(model: CodeModel, scope: Scope, target: ast.Attribute):
+    attr = target.attr
+    if attr not in model.persistent_owners:
+        return None
+    recv = receiver_name(target.value)
+    if recv == "self":
+        # Inside the owning class (or a subclass inheriting the domain)
+        # the store IS the sanctioned micro-op.  An unrelated class's
+        # same-named `self.<attr>` lives in its own namespace.
+        return None
+    owners = [
+        info
+        for info in model.aka_map.get(recv, ())
+        if attr in model.effective(info.name, "persistent")
+    ]
+    if not owners:
+        return None
+    owner = owners[0]
+    if scope.class_name is not None and owner.name in model.lineage(scope.class_name):
+        return None  # the owner (or a subclass) touching its own domain
+    mutators = owner.decl.mutators if owner.decl else ()
+    suggestion = (
+        f"mutate {owner.name} through its sanctioned micro-ops"
+        + (f" ({', '.join(mutators)})" if mutators else "")
+        + " or route the change through the WPQ"
+    )
+    return Finding(
+        "P1", scope.path, target.lineno, target.col_offset, scope.symbol,
+        f"direct store to persistent attribute {recv}.{attr} "
+        f"(owned by {owner.name}) outside the owning class — persist order "
+        "is only guaranteed through the owner's micro-ops",
+        suggestion=suggestion,
+        token=f"{recv}.{attr}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# P2 — crash-site registry coherence and persist-point coverage
+# ---------------------------------------------------------------------------
+
+def rule_p2(model: CodeModel, config) -> list[Finding]:
+    findings = []
+    registry = (
+        set(config.site_registry)
+        if config.site_registry is not None
+        else set(model.site_defs)
+    )
+
+    called: set[str] = set()
+    for fc in model.fault_calls:
+        if fc.site is None:
+            findings.append(
+                Finding(
+                    "P2", fc.path, fc.line, fc.col, fc.symbol,
+                    "fault-site argument is not a string literal; the "
+                    "registry cross-check cannot see this site",
+                    suggestion="pass the dotted site name as a literal",
+                    token="nonliteral",
+                )
+            )
+            continue
+        called.add(fc.site)
+        if fc.site not in registry:
+            findings.append(
+                Finding(
+                    "P2", fc.path, fc.line, fc.col, fc.symbol,
+                    f"fault site {fc.site!r} is not in the faults/plan.py "
+                    "registry — the campaign can never arm it",
+                    suggestion="register a FaultSite entry (name, component, "
+                    "description, reachable schemes)",
+                    token=f"unregistered:{fc.site}",
+                )
+            )
+
+    for name in sorted(registry - called):
+        site_def = model.site_defs.get(name)
+        path = site_def.path if site_def else "<registry>"
+        line = site_def.line if site_def else 0
+        findings.append(
+            Finding(
+                "P2", path, line, 0, "<registry>",
+                f"registered fault site {name!r} appears in no "
+                "_fault()/fault_hook() call — registry drift",
+                suggestion="instrument the micro-step or retire the entry",
+                token=f"unused:{name}",
+            )
+        )
+
+    findings.extend(_persist_point_coverage(model, registry))
+    return findings
+
+
+def _persist_point_coverage(model: CodeModel, registry: set[str]) -> list[Finding]:
+    findings = []
+    instrumented_scopes = {(fc.path, fc.symbol) for fc in model.fault_calls}
+    for scope in _function_scopes(model):
+        if scope.node.name in FAULT_CALL_NAMES:
+            continue
+        scope_covered = (scope.path, scope.symbol) in instrumented_scopes
+        for node in scope.walk_own():
+            if not isinstance(node, ast.Call):
+                continue
+            method = call_name(node.func)
+            if method not in PERSIST_POINTS:
+                continue
+            if scope_covered:
+                continue
+            if _callee_self_instrumented(model, scope, node.func, method):
+                continue
+            findings.append(
+                Finding(
+                    "P2", scope.path, node.lineno, node.col_offset, scope.symbol,
+                    f"persist point {method}() executes with no crash site in "
+                    "scope — the fault campaign cannot land a power failure "
+                    "around this state transition",
+                    suggestion="add a _fault(\"<component>.<step>\") call (and "
+                    "registry entry) before/after the persist point, or "
+                    "baseline it with a justification in DESIGN.md",
+                    token=f"uncovered:{method}",
+                )
+            )
+    return findings
+
+
+def _callee_self_instrumented(
+    model: CodeModel, scope: Scope, func: ast.AST, method: str
+) -> bool:
+    """Is the called persist-point method instrumented in its own body?"""
+    if not isinstance(func, ast.Attribute):
+        return False
+    recv = receiver_name(func.value)
+    candidates = []
+    if recv == "self" and scope.class_name is not None:
+        candidates.append(scope.class_name)
+    candidates.extend(info.name for info in model.aka_map.get(recv, ()))
+    return any(
+        model.owner_is_self_instrumented(cls_name, method) for cls_name in candidates
+    )
+
+
+# ---------------------------------------------------------------------------
+# P3 — atomic-batch bracketing
+# ---------------------------------------------------------------------------
+
+def rule_p3(model: CodeModel, config) -> list[Finding]:
+    findings = []
+    for scope in _function_scopes(model):
+        calls: dict[str, list[ast.Call]] = {op: [] for op in ATOMIC_OPS}
+        for node in scope.walk_own():
+            if isinstance(node, ast.Call):
+                name = call_name(node.func)
+                if name in calls:
+                    calls[name].append(node)
+        if scope.class_name is not None and any(
+            scope.node.name == op for op in ATOMIC_OPS
+        ):
+            continue  # the WPQ's own protocol methods
+        begins, writes, commits = (
+            calls["begin_atomic"], calls["write_atomic"], calls["commit_atomic"]
+        )
+        if writes and (not begins or not commits):
+            first = writes[0]
+            findings.append(
+                Finding(
+                    "P3", scope.path, first.lineno, first.col_offset, scope.symbol,
+                    "write_atomic() without begin_atomic()+commit_atomic() in "
+                    "the same function — atomic batches must not be split "
+                    "across functions, or a crash can persist half an epoch",
+                    suggestion="bracket the writes with begin_atomic()/"
+                    "commit_atomic() locally, or use a single wpq.write()",
+                    token="split-batch",
+                )
+            )
+        if begins and len(begins) != len(commits):
+            first = begins[0]
+            findings.append(
+                Finding(
+                    "P3", scope.path, first.lineno, first.col_offset, scope.symbol,
+                    f"unbalanced atomic batch: {len(begins)} begin_atomic() vs "
+                    f"{len(commits)} commit_atomic() in this function — an "
+                    "un-ended batch is silently dropped at the next crash",
+                    suggestion="every begin_atomic() needs exactly one "
+                    "commit_atomic() on every control-flow path",
+                    token="unbalanced",
+                )
+            )
+        elif commits and not begins and not writes:
+            first = commits[0]
+            findings.append(
+                Finding(
+                    "P3", scope.path, first.lineno, first.col_offset, scope.symbol,
+                    "commit_atomic() without a begin_atomic() in this function "
+                    "— the end signal is owned by whoever opened the batch",
+                    suggestion="commit the batch in the function that began it",
+                    token="stray-commit",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# P4 — recovery-path volatile reads
+# ---------------------------------------------------------------------------
+
+def rule_p4(model: CodeModel, config) -> list[Finding]:
+    findings = []
+    for scope in _function_scopes(model):
+        if not _is_recovery_scope(model, scope, config):
+            continue
+        seen: set[tuple[str, int]] = set()
+        for node in scope.walk_own():
+            if not (isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load)):
+                continue
+            attr = node.attr
+            if attr not in model.volatile_owners:
+                continue
+            recv = receiver_name(node.value)
+            owner = _volatile_owner(model, scope, recv, attr)
+            if owner is None:
+                continue
+            key = (f"{recv}.{attr}", node.lineno)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                Finding(
+                    "P4", scope.path, node.lineno, node.col_offset, scope.symbol,
+                    f"recovery path reads volatile attribute {recv}.{attr} "
+                    f"(declared volatile by {owner}) — after a crash only the "
+                    "NVM image and persistent TCB registers exist",
+                    suggestion="recompute the value from the NVM image or a "
+                    "persistent register; volatile state must not feed recovery",
+                    token=f"{recv}.{attr}",
+                )
+            )
+    return findings
+
+
+def _is_recovery_scope(model: CodeModel, scope: Scope, config) -> bool:
+    normalized = scope.path.replace("\\", "/")
+    if any(normalized.endswith(suffix) for suffix in config.recovery_files):
+        return True
+    if scope.class_name is not None and scope.node.name.startswith("recover"):
+        lineage = model.lineage(scope.class_name)
+        return config.scheme_root in lineage
+    return False
+
+
+def _volatile_owner(model: CodeModel, scope: Scope, recv, attr: str) -> str | None:
+    if recv == "self" and scope.class_name is not None:
+        if attr in model.effective(scope.class_name, "volatile"):
+            return scope.class_name
+        return None
+    for info in model.aka_map.get(recv, ()):
+        if attr in model.effective(info.name, "volatile"):
+            return info.name
+    return None
+
+
+# ---------------------------------------------------------------------------
+# P5 — the scheme contract
+# ---------------------------------------------------------------------------
+
+def rule_p5(model: CodeModel, config) -> list[Finding]:
+    root = model.classes.get(config.scheme_root)
+    if root is None:
+        return []
+    findings = []
+    for sub in model.subclasses_of(config.scheme_root):
+        for method in sorted(root.abstract_methods):
+            resolved = model.resolve_method(sub.name, method)
+            if resolved is None or (
+                resolved.name == root.name and method in root.abstract_methods
+            ):
+                findings.append(
+                    Finding(
+                        "P5", sub.path, sub.line, 0, sub.name,
+                        f"scheme {sub.name} does not implement {method}() — "
+                        f"the {config.scheme_root} contract (write path, "
+                        "eviction, flush, recovery) must be complete",
+                        suggestion=f"implement {method}() or inherit it from a "
+                        "concrete ancestor",
+                        token=f"missing:{method}",
+                    )
+                )
+    return findings
+
+
+#: The full pass list, in reporting order.
+ALL_RULES = (rule_p0, rule_p1, rule_p2, rule_p3, rule_p4, rule_p5)

@@ -1,0 +1,132 @@
+"""Run the persist-order rule passes and fold in the baseline.
+
+:func:`run_lint` is the single entry point used by the CLI, by CI and by
+the unit tests; everything it needs is captured in :class:`LintConfig`
+so tests can point it at seeded mini-trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.findings import RULES, Baseline, Finding, sort_findings
+from repro.lint.model import build_model
+from repro.lint.rules import ALL_RULES
+
+
+@dataclass
+class LintConfig:
+    """One analyzer run: what to analyze and what to accept."""
+
+    #: Directory tree to analyze (normally the installed ``repro`` package).
+    root: Path
+    #: Paths in findings are relative to this (default: ``root``'s parent).
+    base_dir: Path | None = None
+    #: Checked-in accepted-findings file, or ``None`` for no baseline.
+    baseline_path: Path | None = None
+    #: Override the crash-site registry (default: ``FaultSite`` defs found
+    #: in the tree itself).
+    site_registry: tuple[str, ...] | None = None
+    #: Path suffixes whose every function is recovery-path code (P4).
+    recovery_files: tuple[str, ...] = ("core/recovery.py",)
+    #: Root class of the scheme contract (P4 recover methods, P5).
+    scheme_root: str = "SecureNVMScheme"
+
+
+@dataclass
+class LintReport:
+    """The outcome of one analyzer run."""
+
+    root: str
+    findings: list[Finding] = field(default_factory=list)
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[str] = field(default_factory=list)
+    baseline_path: str | None = None
+    files_analyzed: int = 0
+
+    def ok(self, strict: bool = False) -> bool:
+        """Clean run: no unbaselined findings (strict: no stale entries)."""
+        if self.new:
+            return False
+        if strict and self.stale_baseline:
+            return False
+        return True
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "baseline": self.baseline_path,
+            "files_analyzed": self.files_analyzed,
+            "counts": {
+                "total": len(self.findings),
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "rules": dict(RULES),
+            "findings": [f.to_dict() for f in self.new],
+            "baselined_findings": [f.to_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+        }
+
+    def render_text(self) -> str:
+        lines = []
+        for finding in self.new:
+            lines.append(finding.render())
+        for key in self.stale_baseline:
+            lines.append(f"stale baseline entry (violation no longer exists): {key}")
+        summary = (
+            f"repro lint: {len(self.new)} finding(s), "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.stale_baseline)} stale baseline entr(y/ies) "
+            f"across {self.files_analyzed} file(s)"
+        )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+def run_lint(config: LintConfig) -> LintReport:
+    """Build the model, run every rule pass, apply the baseline."""
+    model = build_model(config.root, config.base_dir)
+    findings: list[Finding] = []
+    for rule in ALL_RULES:
+        findings.extend(rule(model, config))
+    findings = sort_findings(findings)
+
+    baseline = (
+        Baseline.load(config.baseline_path)
+        if config.baseline_path is not None and Path(config.baseline_path).exists()
+        else Baseline()
+    )
+    report = LintReport(
+        root=str(config.root),
+        findings=findings,
+        baseline_path=baseline.path,
+        files_analyzed=len(model.modules),
+    )
+    for finding in findings:
+        if baseline.accepts(finding):
+            report.baselined.append(finding)
+        else:
+            report.new.append(finding)
+    report.stale_baseline = baseline.stale
+    return report
+
+
+def write_baseline(report: LintReport, path: Path) -> int:
+    """Write every current finding key to *path*; returns the entry count.
+
+    Keys are sorted and deduplicated (several findings can share one
+    line-independent key).
+    """
+    keys = sorted({f.key for f in report.findings})
+    lines = [
+        "# repro lint baseline - accepted persist-order findings.",
+        "# One key per line: rule|path|symbol|token.",
+        "# Every entry must be justified in DESIGN.md (persistence domains).",
+        *keys,
+    ]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return len(keys)

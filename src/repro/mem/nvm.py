@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.common.address import is_line_aligned
 from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.persistence import persistence
 from repro.common.stats import StatGroup
 from repro.metadata.layout import MemoryLayout
 
@@ -54,6 +55,11 @@ class PermanentMediaError(Exception):
         self.attempts = attempts
 
 
+@persistence(
+    persistent=("_lines", "_write_counts"),
+    aka=("nvm",),
+    mutators=("write_line", "write_partial", "poke", "restore"),
+)
 class NVMDevice:
     """The persistent, *untrusted* memory device.
 

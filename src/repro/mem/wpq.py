@@ -19,6 +19,9 @@ cc-NVM builds its atomic draining protocol on exactly this property:
 
 from __future__ import annotations
 
+from repro.common.address import is_line_aligned
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.persistence import persistence
 from repro.common.stats import StatGroup
 from repro.mem.nvm import NVMDevice
 
@@ -27,6 +30,18 @@ class AtomicBatchError(RuntimeError):
     """Raised on WPQ protocol violations (nesting, overflow, stray signals)."""
 
 
+@persistence(
+    volatile=("_batch",),
+    aka=("wpq",),
+    mutators=(
+        "write",
+        "write_partial",
+        "begin_atomic",
+        "write_atomic",
+        "commit_atomic",
+        "power_failure",
+    ),
+)
 class WritePendingQueue:
     """The ADR-protected write queue in front of the NVM device."""
 
@@ -68,13 +83,45 @@ class WritePendingQueue:
 
     # -- normal traffic ---------------------------------------------------------
 
+    def _validate_addr(self, addr: int) -> None:
+        """Reject misaligned/out-of-range targets before any side effect.
+
+        Validation happens *in the WPQ*, not only in the device: a bad
+        address must fail before statistics are bumped (or, for atomic
+        writes, before the line joins a batch that would then explode
+        half-flushed at commit time).
+        """
+        if not is_line_aligned(addr):
+            raise ValueError(f"WPQ write not line-aligned: {addr:#x}")
+        if not 0 <= addr < self.nvm.layout.total_capacity:
+            raise ValueError(f"WPQ write out of range: {addr:#x}")
+
+    def _check_batch_conflict(self, addr: int) -> None:
+        if self._batch is not None and any(a == addr for a, _ in self._batch):
+            raise AtomicBatchError(
+                f"normal write to {addr:#x} while the line is blocked in the "
+                "atomic batch: the store would be ordered before the batch, "
+                "breaking the all-or-nothing property"
+            )
+
     def write(self, addr: int, data: bytes) -> None:
         """Accept a normal (immediately durable) line write."""
+        self._validate_addr(addr)
+        if len(data) != CACHE_LINE_SIZE:
+            raise ValueError("WPQ line writes are whole 64 B lines")
+        self._check_batch_conflict(addr)
         self._normal_writes.inc()
         self.nvm.write_line(addr, data)
 
     def write_partial(self, addr: int, offset: int, data: bytes) -> None:
         """Accept a normal sub-line write (e.g. a 128-bit data HMAC)."""
+        self._validate_addr(addr)
+        if offset < 0 or offset + len(data) > CACHE_LINE_SIZE:
+            raise ValueError(
+                f"partial write [{offset}, {offset + len(data)}) exceeds the "
+                f"{CACHE_LINE_SIZE} B line"
+            )
+        self._check_batch_conflict(addr)
         self._normal_writes.inc()
         self.nvm.write_partial(addr, offset, data)
 
@@ -91,6 +138,9 @@ class WritePendingQueue:
         """Block one metadata line inside the WPQ until the ``end`` signal."""
         if self._batch is None:
             raise AtomicBatchError("no atomic batch in progress")
+        self._validate_addr(addr)
+        if len(data) != CACHE_LINE_SIZE:
+            raise ValueError("WPQ line writes are whole 64 B lines")
         if len(self._batch) >= self.entries:
             raise AtomicBatchError(
                 f"atomic batch exceeds the {self.entries}-entry WPQ"

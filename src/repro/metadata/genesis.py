@@ -18,7 +18,6 @@ indistinguishable from a fully initialized DIMM.
 from __future__ import annotations
 
 from repro.common.constants import (
-    BLOCKS_PER_PAGE,
     CACHE_LINE_SIZE,
     HMAC_SIZE,
     MERKLE_ARITY,

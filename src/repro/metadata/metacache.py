@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Generic, TypeVar
 
 from repro.common.config import SystemConfig
+from repro.common.persistence import persistence
 from repro.common.stats import StatGroup
 from repro.crypto.hmac_engine import HmacEngine
 from repro.core.tcb import TCB
@@ -66,6 +67,10 @@ class AccessResult(Generic[T]):
     hit: bool
 
 
+@persistence(
+    volatile=("cache", "overlay", "walk_depth"),
+    aka=("meta",),
+)
 class MetadataStore:
     """Verified meta cache over the counter and Merkle regions."""
 

@@ -13,7 +13,7 @@ from repro.core.attacks import Attacker
 from repro.core.schemes import create_scheme
 from repro.metadata.layout import MerkleNodeId
 from repro.metadata.metacache import IntegrityError
-from tests.conftest import CONSISTENT_SCHEMES, SMALL_CAPACITY, payload, small_config
+from tests.conftest import CONSISTENT_SCHEMES, SMALL_CAPACITY, payload
 
 
 def machine(scheme, config, seed=0):

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core.schemes import create_scheme
 from repro.metadata.merkle import MerkleTree
-from tests.conftest import ALL_SCHEMES, SMALL_CAPACITY, payload, small_config
+from tests.conftest import ALL_SCHEMES, SMALL_CAPACITY, small_config
 
 
 def run_stream(scheme_name, config, writes):

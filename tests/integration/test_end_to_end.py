@@ -7,7 +7,7 @@ import pytest
 
 from repro import SecureMemory
 from repro.core.schemes import create_scheme
-from tests.conftest import ALL_SCHEMES, CONSISTENT_SCHEMES, SMALL_CAPACITY, payload, small_config
+from tests.conftest import ALL_SCHEMES, CONSISTENT_SCHEMES, SMALL_CAPACITY, payload
 
 
 @pytest.mark.parametrize("scheme", ALL_SCHEMES)

@@ -3,9 +3,6 @@ drain triggers, atomic WPQ batches across crash points, root-register
 lifecycle, and the invariant the whole design rests on — the in-NVM
 Merkle tree always matches at least one TCB root."""
 
-import pytest
-
-from repro.core.drainer import DrainTrigger
 from repro.core.schemes import create_scheme
 from repro.metadata.merkle import MerkleTree
 from tests.conftest import SMALL_CAPACITY, payload, small_config

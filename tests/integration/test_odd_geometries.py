@@ -9,7 +9,7 @@ import pytest
 from repro.core.schemes import create_scheme
 from repro.metadata.layout import MemoryLayout
 from repro.metadata.merkle import MerkleTree
-from tests.conftest import payload, small_config
+from tests.conftest import payload
 
 
 def exercise(scheme, pages, writebacks=120, seed=0):

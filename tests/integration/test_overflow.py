@@ -6,7 +6,7 @@ import pytest
 from repro.common.constants import MINOR_COUNTER_MAX
 from repro.core.schemes import create_scheme
 from repro.metadata.counters import CounterLine
-from tests.conftest import CONSISTENT_SCHEMES, SMALL_CAPACITY, payload, small_config
+from tests.conftest import CONSISTENT_SCHEMES, SMALL_CAPACITY, payload
 
 
 PAGE = 0x4000  # an arbitrary page base in the 1 MB device

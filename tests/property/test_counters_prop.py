@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.common.constants import (
     BLOCKS_PER_PAGE,
-    MINOR_COUNTER_BITS,
     MINOR_COUNTER_MAX,
 )
 from repro.metadata.counters import CounterLine

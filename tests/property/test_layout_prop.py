@@ -1,6 +1,6 @@
 """Property-based tests for the address map and tree geometry."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.constants import CACHE_LINE_SIZE, MERKLE_ARITY, PAGE_SIZE

@@ -1,7 +1,5 @@
 """Unit tests for address arithmetic helpers."""
 
-import pytest
-
 from repro.common import address
 from repro.common.constants import CACHE_LINE_SIZE, PAGE_SIZE
 

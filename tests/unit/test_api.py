@@ -3,7 +3,7 @@
 import pytest
 
 from repro import SecureMemory
-from tests.conftest import SMALL_CAPACITY, small_config
+from tests.conftest import SMALL_CAPACITY
 
 
 @pytest.fixture

@@ -39,6 +39,17 @@ class TestParser:
         args = build_parser().parse_args(["faults", "run", "--smoke"])
         assert args.smoke and args.schemes is None and args.export is None
 
+    def test_lint_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.root is None and args.baseline is None
+        assert not args.json and not args.strict and not args.update_baseline
+
+    def test_lint_flags(self):
+        args = build_parser().parse_args(
+            ["lint", "--strict", "--json", "--baseline", "b.txt"]
+        )
+        assert args.strict and args.json and args.baseline == "b.txt"
+
 
 class TestCommands:
     def test_info_runs(self, capsys):
@@ -77,6 +88,37 @@ class TestCommands:
         assert "PASS" in out
         assert (tmp_path / "fault_campaign.csv").exists()
         assert (tmp_path / "fault_campaign.json").exists()
+
+    def test_lint_runs_clean_on_repo(self, capsys, monkeypatch):
+        import repro
+
+        repo_root = __import__("pathlib").Path(
+            repro.__file__
+        ).resolve().parents[2]
+        monkeypatch.chdir(repo_root)
+        assert main(["lint", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "repro lint:" in out
+        assert "0 finding(s)" in out
+
+    def test_lint_json_emits_report(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.chdir(tmp_path)  # no baseline here: finding surfaces
+        assert main(["lint", "--json"]) in (0, 1)
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) >= {"counts", "findings", "rules", "root"}
+        assert set(doc["rules"]) == {"P0", "P1", "P2", "P3", "P4", "P5"}
+
+    def test_lint_update_baseline_writes_file(self, capsys, monkeypatch,
+                                              tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "--update-baseline"]) == 0
+        baseline = tmp_path / "lint-baseline.txt"
+        assert baseline.exists()
+        # the rewritten baseline makes the next strict run clean
+        capsys.readouterr()
+        assert main(["lint", "--strict"]) == 0
 
     @pytest.mark.slow
     def test_evaluate_runs_small(self, capsys):

@@ -6,7 +6,6 @@ from repro.common.constants import (
     BLOCKS_PER_PAGE,
     CACHE_LINE_SIZE,
     HMAC_SIZE,
-    MINOR_COUNTER_MAX,
 )
 from repro.core.engine import EncryptionEngine
 from repro.crypto.cme import CounterModeCipher

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.attacks import Attacker
 from repro.core.schemes import SCHEME_LABELS, create_scheme
-from tests.conftest import SMALL_CAPACITY, payload, small_config
+from tests.conftest import SMALL_CAPACITY, payload
 
 
 @pytest.fixture

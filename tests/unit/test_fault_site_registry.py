@@ -1,0 +1,55 @@
+"""Drift test: fault-site strings in the source tree must equal the
+faults/plan.py registry, in both directions.
+
+Deliberately independent of ``repro.lint`` (its own 20-line AST walk),
+so a bug in the analyzer's model cannot mask registry drift.
+"""
+
+import ast
+from pathlib import Path
+
+import repro
+from repro.faults.plan import ALL_SITE_NAMES
+
+SRC = Path(repro.__file__).resolve().parent
+FAULT_CALLS = ("_fault", "fault_hook")
+
+
+def called_sites() -> set[str]:
+    sites = set()
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(
+                func, "id", None
+            )
+            if name in FAULT_CALLS and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    sites.add(arg.value)
+    return sites
+
+
+def test_every_called_site_is_registered():
+    unregistered = called_sites() - set(ALL_SITE_NAMES)
+    assert not unregistered, (
+        f"fault sites called in code but missing from faults/plan.py: "
+        f"{sorted(unregistered)}"
+    )
+
+
+def test_every_registered_site_is_called():
+    unused = set(ALL_SITE_NAMES) - called_sites()
+    assert not unused, (
+        f"fault sites registered in faults/plan.py but never called: "
+        f"{sorted(unused)}"
+    )
+
+
+def test_site_names_are_component_dot_step():
+    for name in ALL_SITE_NAMES:
+        component, _, step = name.partition(".")
+        assert component and step, f"malformed site name {name!r}"

@@ -1,0 +1,359 @@
+"""Unit tests for the persistence-domain static analyzer (``repro lint``).
+
+Each rule class gets a seeded violation in a throwaway mini-tree (the
+analyzer never imports what it reads, so the snippets need no imports),
+plus the real source tree must lint clean against the checked-in
+baseline.
+"""
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.lint import LintConfig, RULES, run_lint, write_baseline
+
+REPO_SRC = Path(repro.__file__).resolve().parent
+REPO_BASELINE = REPO_SRC.parents[1] / "lint-baseline.txt"
+
+#: A well-formed declaration layer shared by the seeded trees.
+DECLARATIONS = """
+    @persistence(
+        persistent=("root_old", "nwb"),
+        aka=("tcb",),
+        mutators=("commit_root",),
+    )
+    class FakeTCB:
+        def commit_root(self):
+            self.root_old = b""
+            self.nwb = 0
+
+    @persistence(volatile=("overlay",), aka=("meta",))
+    class FakeMeta:
+        pass
+
+    @persistence(volatile=("_batch",), aka=("wpq",))
+    class FakeWPQ:
+        def begin_atomic(self):
+            self._fault("wpq.after_start")
+
+        def commit_atomic(self):
+            self._fault("wpq.after_end")
+
+        def write_atomic(self, addr, data):
+            pass
+
+        def _fault(self, site):
+            pass
+"""
+
+
+def make_tree(tmp_path, files):
+    root = tmp_path / "pkg"
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(text), encoding="utf-8")
+    return root
+
+
+def lint(tmp_path, files, **overrides):
+    root = make_tree(tmp_path, files)
+    return run_lint(LintConfig(root=root, base_dir=tmp_path, **overrides))
+
+
+def rule_tokens(report):
+    return {(f.rule, f.token) for f in report.new}
+
+
+class TestSeededViolations:
+    """Each rule class must catch its seeded violation."""
+
+    def test_p0_declaration_defects(self, tmp_path):
+        report = lint(tmp_path, {"decl.py": """
+            ATTRS = ("x",)
+
+            @persistence(persistent=ATTRS)
+            class NonLiteral:
+                pass
+
+            @persistence("tcb")
+            class Positional:
+                pass
+
+            @persistence(persistentt=("x",))
+            class Typo:
+                pass
+
+            @persistence(persistent=("a",), volatile=("a",))
+            class Overlap:
+                pass
+        """})
+        tokens = rule_tokens(report)
+        assert ("P0", "literal:persistent") in tokens
+        assert ("P0", "positional") in tokens
+        assert ("P0", "kwarg:persistentt") in tokens
+        assert ("P0", "overlap") in tokens
+
+    def test_p1_store_outside_owner(self, tmp_path):
+        report = lint(tmp_path, {
+            "decl.py": DECLARATIONS,
+            "evil.py": """
+                class Outside:
+                    def __init__(self, tcb):
+                        self.tcb = tcb
+
+                    def smash(self):
+                        self.tcb.root_old = b"evil"
+            """,
+        })
+        assert ("P1", "tcb.root_old") in rule_tokens(report)
+        [finding] = [f for f in report.new if f.rule == "P1"]
+        assert finding.symbol == "Outside.smash"
+        assert "commit_root" in finding.suggestion
+
+    def test_p1_owner_and_unrelated_self_allowed(self, tmp_path):
+        report = lint(tmp_path, {
+            "decl.py": DECLARATIONS,
+            "ok.py": """
+                class OwnNamespace:
+                    def __init__(self):
+                        self.root_old = 7  # its own attr, not FakeTCB's
+            """,
+        })
+        assert not [f for f in report.new if f.rule == "P1"]
+
+    def test_p2_registry_drift_both_ways(self, tmp_path):
+        report = lint(tmp_path, {
+            "decl.py": DECLARATIONS,
+            "plan.py": """
+                SITES = (FaultSite("drain.ok"), FaultSite("ghost.site"),
+                         FaultSite("wpq.after_start"), FaultSite("wpq.after_end"))
+            """,
+            "engine.py": """
+                class Engine:
+                    def _fault(self, site):
+                        pass
+
+                    def fine(self):
+                        self._fault("drain.ok")
+
+                    def rogue(self):
+                        self._fault("off.registry")
+
+                    def forward(self, site):
+                        self._fault(site)
+            """,
+        })
+        tokens = rule_tokens(report)
+        assert ("P2", "unregistered:off.registry") in tokens
+        assert ("P2", "unused:ghost.site") in tokens
+        assert ("P2", "nonliteral") in tokens
+        # the trampoline `def _fault` itself is not a non-literal call
+        assert len([f for f in report.new if f.token == "nonliteral"]) == 1
+
+    def test_p2_persist_point_coverage(self, tmp_path):
+        report = lint(tmp_path, {
+            "decl.py": DECLARATIONS,
+            "plan.py": """
+                SITES = (FaultSite("drain.ok"), FaultSite("wpq.after_start"),
+                         FaultSite("wpq.after_end"))
+            """,
+            "drain.py": """
+                class Drainer:
+                    def _fault(self, site):
+                        pass
+
+                    def covered(self, tcb):
+                        self._fault("drain.ok")
+                        tcb.commit_root()
+
+                    def callee_covered(self, wpq):
+                        wpq.begin_atomic()  # FakeWPQ instruments itself
+                        wpq.commit_atomic()
+
+                    def uncovered(self, tcb):
+                        tcb.commit_root()
+            """,
+        })
+        uncovered = [f for f in report.new if f.token == "uncovered:commit_root"]
+        assert [f.symbol for f in uncovered] == ["Drainer.uncovered"]
+
+    def test_p3_batch_bracketing(self, tmp_path):
+        report = lint(tmp_path, {"drain.py": """
+            class Drainer:
+                def split(self, wpq):
+                    wpq.write_atomic(0, b"")
+
+                def unbalanced(self, wpq):
+                    wpq.begin_atomic()
+                    wpq.write_atomic(0, b"")
+
+                def stray(self, wpq):
+                    wpq.commit_atomic()
+
+                def good(self, wpq):
+                    wpq.begin_atomic()
+                    wpq.write_atomic(0, b"")
+                    wpq.commit_atomic()
+        """})
+        by_symbol = {}
+        for f in report.new:
+            if f.rule == "P3":
+                by_symbol.setdefault(f.symbol, set()).add(f.token)
+        assert by_symbol["Drainer.split"] == {"split-batch"}
+        assert "unbalanced" in by_symbol["Drainer.unbalanced"]
+        assert by_symbol["Drainer.stray"] == {"stray-commit"}
+        assert "Drainer.good" not in by_symbol
+
+    def test_p4_volatile_read_on_recovery_path(self, tmp_path):
+        report = lint(tmp_path, {
+            "decl.py": DECLARATIONS,
+            "core/recovery.py": """
+                def rebuild(meta):
+                    return meta.overlay
+            """,
+            "schemes.py": """
+                class SecureNVMScheme:
+                    @abstractmethod
+                    def flush(self):
+                        ...
+
+                    @abstractmethod
+                    def recover(self):
+                        ...
+
+                class LeakyScheme(SecureNVMScheme):
+                    def flush(self):
+                        pass
+
+                    def recover(self):
+                        return self.meta.overlay
+            """,
+        })
+        p4 = {(f.symbol, f.token) for f in report.new if f.rule == "P4"}
+        assert ("rebuild", "meta.overlay") in p4
+        assert ("LeakyScheme.recover", "meta.overlay") in p4
+
+    def test_p4_ignores_non_recovery_code(self, tmp_path):
+        report = lint(tmp_path, {
+            "decl.py": DECLARATIONS,
+            "steady.py": """
+                def steady_state(meta):
+                    return meta.overlay
+            """,
+        })
+        assert not [f for f in report.new if f.rule == "P4"]
+
+    def test_p5_incomplete_scheme_contract(self, tmp_path):
+        report = lint(tmp_path, {"schemes.py": """
+            class SecureNVMScheme:
+                @abstractmethod
+                def flush(self):
+                    ...
+
+                @abstractmethod
+                def recover(self):
+                    ...
+
+            class Complete(SecureNVMScheme):
+                def flush(self):
+                    pass
+
+                def recover(self):
+                    pass
+
+            class ViaInheritance(Complete):
+                pass
+
+            class Incomplete(SecureNVMScheme):
+                def flush(self):
+                    pass
+        """})
+        p5 = {(f.symbol, f.token) for f in report.new if f.rule == "P5"}
+        assert p5 == {("Incomplete", "missing:recover")}
+
+    def test_all_rule_classes_detectable(self, tmp_path):
+        """The analyzer distinguishes at least five rule classes."""
+        assert set(RULES) >= {"P1", "P2", "P3", "P4", "P5"}
+
+
+class TestBaseline:
+    def test_baseline_accepts_and_roundtrips(self, tmp_path):
+        files = {
+            "decl.py": DECLARATIONS,
+            "evil.py": """
+                class Outside:
+                    def smash(self, tcb):
+                        tcb.root_old = b"evil"
+            """,
+        }
+        report = lint(tmp_path, files)
+        assert not report.ok()
+        baseline_path = tmp_path / "baseline.txt"
+        write_baseline(report, baseline_path)
+        again = lint(tmp_path, files, baseline_path=baseline_path)
+        assert again.ok(strict=True)
+        assert len(again.baselined) == len(report.new)
+
+    def test_stale_entries_fail_strict_only(self, tmp_path):
+        baseline_path = tmp_path / "baseline.txt"
+        baseline_path.write_text("P1|pkg/gone.py|Gone.smash|tcb.root_old\n")
+        report = lint(tmp_path, {"clean.py": "X = 1\n"},
+                      baseline_path=baseline_path)
+        assert report.stale_baseline == ["P1|pkg/gone.py|Gone.smash|tcb.root_old"]
+        assert report.ok(strict=False)
+        assert not report.ok(strict=True)
+
+    def test_finding_keys_survive_line_shifts(self, tmp_path):
+        files = {
+            "decl.py": DECLARATIONS,
+            "evil.py": "class O:\n    def smash(self, tcb):\n        tcb.root_old = 1\n",
+        }
+        before = {f.key for f in lint(tmp_path, files).new}
+        (tmp_path / "pkg" / "evil.py").write_text(
+            "# pad\n# pad\n" + files["evil.py"], encoding="utf-8"
+        )
+        after_report = run_lint(
+            LintConfig(root=tmp_path / "pkg", base_dir=tmp_path)
+        )
+        assert {f.key for f in after_report.new} == before
+
+
+class TestRegistryOverride:
+    def test_site_registry_override(self, tmp_path):
+        files = {"engine.py": """
+            def _fault(site):
+                pass
+
+            def step():
+                _fault("a.b")
+        """}
+        ok = lint(tmp_path, files, site_registry=("a.b",))
+        assert not [f for f in ok.new if f.rule == "P2"]
+        drifted = lint(tmp_path, files, site_registry=("a.b", "c.d"))
+        assert ("P2", "unused:c.d") in rule_tokens(drifted)
+
+
+class TestRealTree:
+    def test_repo_lints_clean_against_baseline(self):
+        report = run_lint(LintConfig(
+            root=REPO_SRC,
+            base_dir=REPO_SRC.parent,
+            baseline_path=REPO_BASELINE if REPO_BASELINE.exists() else None,
+        ))
+        assert report.files_analyzed > 50
+        assert report.ok(strict=True), report.render_text()
+
+    def test_repo_baseline_entries_are_each_justified(self):
+        """Every baseline key's symbol is discussed in DESIGN.md."""
+        if not REPO_BASELINE.exists():
+            return
+        design = (REPO_SRC.parents[1] / "DESIGN.md").read_text(encoding="utf-8")
+        for line in REPO_BASELINE.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            symbol = line.split("|")[2]
+            assert symbol.split(".")[-1] in design, (
+                f"baseline entry {line!r} lacks a DESIGN.md justification"
+            )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.constants import CACHE_LINE_SIZE, HMAC_SIZE
+from repro.common.constants import HMAC_SIZE
 from repro.crypto.hmac_engine import HmacEngine
 from repro.crypto.prf import SecretKey
 from repro.mem.nvm import NVMDevice

@@ -1,0 +1,98 @@
+"""Unit tests for the runtime persistence-declaration layer.
+
+The static analyzer reads declarations off the AST; these tests pin the
+runtime half (decorator, registry, inheritance union) and cross-check
+the repo's real annotations against the crash model they describe.
+"""
+
+import pytest
+
+from repro.common.persistence import (
+    REGISTRY,
+    DomainDeclaration,
+    declaration,
+    is_declared,
+    persistence,
+    persistent_attrs,
+    volatile_attrs,
+)
+
+
+class TestDecorator:
+    def test_declaration_attached_and_registered(self):
+        @persistence(persistent=("a",), volatile=("b",), aka=("thing",),
+                     mutators=("poke",))
+        class Thing:
+            pass
+
+        decl = declaration(Thing)
+        assert isinstance(decl, DomainDeclaration)
+        assert decl.persistent == ("a",)
+        assert decl.volatile == ("b",)
+        assert REGISTRY["Thing"] is decl
+        assert is_declared(Thing)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            persistence(persistent=("x",), volatile=("x",))
+
+    def test_positional_args_rejected(self):
+        with pytest.raises(TypeError):
+            persistence(("x",))  # keyword-only by design
+
+    def test_subclass_inherits_but_does_not_redeclare(self):
+        @persistence(persistent=("p",))
+        class Base:
+            pass
+
+        class Child(Base):
+            pass
+
+        assert declaration(Child) is None  # nothing on Child itself
+        assert is_declared(Child)  # ...but the lineage is declared
+        assert persistent_attrs(Child) == frozenset({"p"})
+
+    def test_subclass_declaration_unions_with_ancestors(self):
+        @persistence(volatile=("base_v",))
+        class Base2:
+            pass
+
+        @persistence(volatile=("child_v",))
+        class Child2(Base2):
+            pass
+
+        assert volatile_attrs(Child2) == frozenset({"base_v", "child_v"})
+        assert volatile_attrs(Base2) == frozenset({"base_v"})
+
+
+class TestRepoAnnotations:
+    """The real annotations match the crash behaviour they declare."""
+
+    def test_core_classes_are_declared(self):
+        from repro.core.drainer import DirtyAddressQueue
+        from repro.core.schemes.base import SecureNVMScheme
+        from repro.core.tcb import TCB
+        from repro.mem.nvm import NVMDevice
+        from repro.mem.wpq import WritePendingQueue
+        from repro.metadata.metacache import MetadataStore
+
+        for cls in (TCB, NVMDevice, WritePendingQueue, MetadataStore,
+                    DirtyAddressQueue, SecureNVMScheme):
+            assert is_declared(cls), cls.__name__
+
+    def test_tcb_and_nvm_hold_all_persistent_state(self):
+        from repro.core.tcb import TCB
+        from repro.mem.nvm import NVMDevice
+
+        assert "recovery_pending" in persistent_attrs(TCB)
+        assert persistent_attrs(NVMDevice) == frozenset(
+            {"_lines", "_write_counts"}
+        )
+
+    def test_scheme_volatile_domain_includes_meta_cache(self):
+        from repro.core.schemes.ccnvm import CcNVM
+
+        vols = volatile_attrs(CcNVM)
+        assert "meta" in vols  # the meta cache handle is crash-lost state
+        assert "queue" in vols  # the dirty address queue too
+        assert not (vols & persistent_attrs(CcNVM))

@@ -2,8 +2,6 @@
 independent of any scheme (the schemes' integration behaviour is covered
 in tests/integration/)."""
 
-import pytest
-
 from repro.core.recovery import (
     AttackFinding,
     RecoveryManager,

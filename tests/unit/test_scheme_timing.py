@@ -6,7 +6,7 @@ import pytest
 from repro.core.schemes import create_scheme
 from repro.sim.runner import run_simulation
 from repro.workloads import synthetic
-from tests.conftest import SMALL_CAPACITY, payload, small_config
+from tests.conftest import SMALL_CAPACITY, payload
 
 
 def fresh(scheme_name, config):

@@ -8,7 +8,7 @@ from repro.sim.runner import run_design_comparison, run_simulation
 from repro.sim.system import MemoryHierarchy
 from repro.sim.trace import READ, WRITE, Trace, TraceRecord
 from repro.workloads import synthetic
-from tests.conftest import SMALL_CAPACITY, small_config
+from tests.conftest import SMALL_CAPACITY
 
 
 def make_machine(config, scheme_name="ccnvm"):

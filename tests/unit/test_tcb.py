@@ -84,3 +84,55 @@ class TestPersistence:
         for _ in range(5):
             tcb.count_writeback()
         assert tcb.nwb == 5
+
+
+class TestCrashSplit:
+    """The persistent/volatile split: exactly the declared persistent
+    registers survive ``crash()``; everything cache-resident is dropped
+    at the scheme level."""
+
+    def test_extension_registers_survive_crash(self, tcb):
+        tcb.log_counter_update(0x40)
+        tcb.log_counter_update(0x40)
+        tcb.log_counter_update(0x80)
+        tcb.crash()
+        assert tcb.counter_log == {0x40: 2, 0x80: 1}
+
+    def test_recovery_pending_survives_crash(self, tcb):
+        tcb.begin_recovery()
+        tcb.crash()
+        assert tcb.recovery_pending
+
+    def test_set_roots_clears_recovery_pending(self, tcb):
+        tcb.begin_recovery()
+        tcb.set_roots(bytes([4]) * CACHE_LINE_SIZE)
+        assert not tcb.recovery_pending
+
+    def test_declaration_matches_the_crash_contract(self):
+        """The @persistence declaration is the crash contract."""
+        from repro.common.persistence import persistent_attrs
+
+        assert persistent_attrs(TCB) == frozenset(
+            {"root_new", "root_old", "nwb", "counter_log", "recovery_pending"}
+        )
+
+    def test_scheme_crash_drops_volatile_keeps_persistent(self):
+        from repro import SecureMemory
+
+        mem = SecureMemory(data_capacity=1 << 18)
+        mem.store(0x1000, b"survivor")
+        mem.persist(0x1000, 64)
+        scheme = mem.scheme
+        assert scheme.tcb.nwb >= 1  # uncommitted write-backs pending
+        assert scheme.meta.dirty_addresses()  # dirty metadata in cache
+        roots_before = (scheme.tcb.root_new, scheme.tcb.root_old)
+        nwb_before = scheme.tcb.nwb
+        mem.crash()
+        # volatile domain gone...
+        assert scheme.meta.dirty_addresses() == []
+        assert scheme.meta.overlay == {}
+        # ...persistent registers intact
+        assert (scheme.tcb.root_new, scheme.tcb.root_old) == roots_before
+        assert scheme.tcb.nwb == nwb_before
+        assert mem.recover().success
+        assert mem.load(0x1000, 8) == b"survivor"

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.constants import CACHE_LINE_SIZE
-from repro.sim.trace import WRITE
 from repro.workloads import synthetic
 from repro.workloads.spec import SPEC_ORDER, SPEC_PROFILES, all_spec_traces, spec_trace
 

@@ -125,6 +125,100 @@ class TestPowerFailure:
         assert wpq.stats.counter("batches_committed").value == 0
 
 
+class TestBoundsValidation:
+    """The WPQ rejects bad targets before any side effect (not only the
+    device): statistics must not drift and atomic batches must not
+    accept a line that would explode half-flushed at commit time."""
+
+    def test_write_rejects_misaligned_addr(self, wpq):
+        with pytest.raises(ValueError):
+            wpq.write(7, LINE)
+        assert wpq.stats.counter("normal_writes").value == 0
+
+    def test_write_rejects_out_of_range_addr(self, wpq):
+        top = wpq.nvm.layout.total_capacity
+        with pytest.raises(ValueError):
+            wpq.write(top, LINE)
+        with pytest.raises(ValueError):
+            wpq.write(-64, LINE)
+        assert wpq.stats.counter("normal_writes").value == 0
+
+    def test_write_rejects_short_line(self, wpq):
+        with pytest.raises(ValueError):
+            wpq.write(0, b"short")
+        assert wpq.stats.counter("normal_writes").value == 0
+
+    def test_partial_rejects_negative_offset(self, wpq):
+        with pytest.raises(ValueError):
+            wpq.write_partial(0, -1, b"\x01" * 4)
+        assert wpq.stats.counter("normal_writes").value == 0
+
+    def test_partial_rejects_overrun(self, wpq):
+        with pytest.raises(ValueError):
+            wpq.write_partial(0, CACHE_LINE_SIZE - 8, b"\x01" * 9)
+        assert wpq.stats.counter("normal_writes").value == 0
+
+    def test_partial_accepts_exact_tail(self, wpq):
+        wpq.write_partial(0, CACHE_LINE_SIZE - 16, b"\x22" * 16)
+        assert wpq.nvm.peek(0)[-16:] == b"\x22" * 16
+
+    def test_partial_rejects_misaligned_line_addr(self, wpq):
+        with pytest.raises(ValueError):
+            wpq.write_partial(33, 0, b"\x01" * 4)
+
+    def test_atomic_rejects_bad_addr_before_joining_batch(self, wpq):
+        wpq.begin_atomic()
+        with pytest.raises(ValueError):
+            wpq.write_atomic(7, LINE)
+        with pytest.raises(ValueError):
+            wpq.write_atomic(wpq.nvm.layout.total_capacity, LINE)
+        with pytest.raises(ValueError):
+            wpq.write_atomic(0, b"short")
+        assert wpq.batch_size == 0  # nothing half-joined the batch
+        assert wpq.commit_atomic() == 0
+
+    def test_failed_writes_leave_device_untouched(self, wpq):
+        with pytest.raises(ValueError):
+            wpq.write(7, LINE)
+        assert wpq.nvm.peek(0) == bytes(CACHE_LINE_SIZE)
+
+
+class TestBatchConflicts:
+    """Normal traffic may flow during a batch, but not into a line the
+    batch is blocking — the store would be ordered before the batch,
+    breaking all-or-nothing."""
+
+    def test_normal_write_into_blocked_line_rejected(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(64, LINE)
+        with pytest.raises(AtomicBatchError):
+            wpq.write(64, bytes([1]) * CACHE_LINE_SIZE)
+        assert wpq.stats.counter("normal_writes").value == 0
+        assert wpq.commit_atomic() == 1
+        assert wpq.nvm.peek(64) == LINE
+
+    def test_partial_write_into_blocked_line_rejected(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(64, LINE)
+        with pytest.raises(AtomicBatchError):
+            wpq.write_partial(64, 0, b"\x01" * 16)
+        wpq.commit_atomic()
+
+    def test_other_lines_still_flow(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(64, LINE)
+        wpq.write(128, LINE)  # different line: fine
+        assert wpq.nvm.peek(128) == LINE
+        wpq.commit_atomic()
+
+    def test_blocked_line_free_after_commit(self, wpq):
+        wpq.begin_atomic()
+        wpq.write_atomic(64, LINE)
+        wpq.commit_atomic()
+        wpq.write(64, bytes([3]) * CACHE_LINE_SIZE)
+        assert wpq.nvm.peek(64) == bytes([3]) * CACHE_LINE_SIZE
+
+
 class TestConstruction:
     def test_rejects_zero_entries(self):
         nvm = NVMDevice(MemoryLayout(1 << 20))

@@ -1,9 +1,6 @@
 """Edge cases at the persistence boundary: WPQ batch statistics, batch
 reuse, and scheme crash() interactions with in-flight state."""
 
-import pytest
-
-from repro.core.drainer import DrainTrigger
 from repro.core.schemes import create_scheme
 from repro.mem.nvm import NVMDevice
 from repro.mem.wpq import WritePendingQueue
