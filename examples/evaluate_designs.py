@@ -7,7 +7,12 @@ prints the IPC and write-traffic tables plus the headline numbers; with
 pipeline the benchmark harness uses — see ``benchmarks/`` for the
 assertion-checked versions and EXPERIMENTS.md for recorded results.
 
-Run:  python examples/evaluate_designs.py [--length N] [--sweep]
+Simulations go through the run orchestrator: ``--jobs N`` fans the
+matrix out over worker processes, and completed cells are replayed from
+the content-addressed cache under ``.repro-cache/`` on the next
+invocation (disable with ``--no-cache``).
+
+Run:  python examples/evaluate_designs.py [--length N] [--jobs N] [--sweep]
       (default length 4000 finishes in ~1 minute; 12000 matches the
       recorded benchmark runs)
 """
@@ -23,13 +28,18 @@ def main() -> None:
     parser.add_argument("--length", type=int, default=4000,
                         help="memory references per workload surrogate")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the simulation matrix")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache")
     parser.add_argument("--sweep", action="store_true",
                         help="also run the Figure 6 sensitivity sweeps")
     args = parser.parse_args()
+    run = {"jobs": args.jobs, "cache": not args.no_cache}
 
     print(f"running Figure 5 matrix (8 workloads x 5 designs, "
-          f"{args.length} refs each)...")
-    comparisons = experiments.figure5_comparisons(args.length, args.seed)
+          f"{args.length} refs each, jobs={args.jobs})...")
+    comparisons = experiments.figure5_comparisons(args.length, args.seed, **run)
 
     print()
     print(ipc_table(comparisons).render())
@@ -42,9 +52,11 @@ def main() -> None:
     if args.sweep:
         print("\nrunning Figure 6 sweeps...")
         print()
-        print(experiments.figure6a(length=args.length, seed=args.seed).render())
+        print(experiments.figure6a(
+            length=args.length, seed=args.seed, **run).render())
         print()
-        print(experiments.figure6b(length=args.length, seed=args.seed).render())
+        print(experiments.figure6b(
+            length=args.length, seed=args.seed, **run).render())
 
 
 if __name__ == "__main__":

@@ -6,6 +6,13 @@ table/series objects from :mod:`repro.analysis.report`.  The benchmark
 harness under ``benchmarks/`` is a thin timing/assertion wrapper around
 these; the example scripts call them directly.
 
+Every driver expresses its grid as :class:`~repro.runs.spec.RunSpec`s
+and submits through :func:`repro.runs.run_specs`, so the same call can
+run serially (``jobs=1``, the default), fan out across a worker pool
+(``jobs=N``), and/or reuse the content-addressed on-disk cache
+(``cache=True``) — results are identical in all cases because a spec's
+content hash *is* its identity.
+
 Scale note: the paper simulates 500 M instructions per benchmark in gem5.
 These drivers default to tens of thousands of memory references per
 workload — enough for the cache, epoch and traffic statistics to
@@ -14,7 +21,6 @@ stabilize — and accept a ``length`` parameter to trade fidelity for time.
 
 from __future__ import annotations
 
-from repro.common.config import SystemConfig
 from repro.analysis.report import (
     FigureTable,
     HeadlineNumbers,
@@ -23,11 +29,16 @@ from repro.analysis.report import (
     ipc_table,
     write_traffic_table,
 )
-from repro.sim.runner import DesignComparison, run_design_comparison, run_simulation
-from repro.workloads.spec import SPEC_ORDER, all_spec_traces
+from repro.common.config import SystemConfig
+from repro.runs import RunReport, orchestrate, simulation_spec
+from repro.sim.runner import DesignComparison
+from repro.workloads.spec import SPEC_ORDER
 
 #: Default memory references per workload surrogate.
 DEFAULT_LENGTH = 12_000
+
+#: The five designs of the Figure 5 matrix (baseline first).
+FIGURE5_DESIGNS = ["no_cc", "sc", "osiris_plus", "ccnvm_no_ds", "ccnvm"]
 
 #: The three designs Figure 6 sweeps.
 FIGURE6_SCHEMES = ["osiris_plus", "ccnvm_no_ds", "ccnvm"]
@@ -38,20 +49,57 @@ FIGURE6_SCHEMES = ["osiris_plus", "ccnvm_no_ds", "ccnvm"]
 FIGURE6_WORKLOADS = ["lbm", "gcc", "milc"]
 
 
+def _result_from_payload(payload) -> "SimulationResult":  # noqa: F821
+    from repro.analysis.export import result_from_dict
+
+    return result_from_dict(payload)
+
+
 def figure5_comparisons(
     length: int = DEFAULT_LENGTH,
     seed: int = 1,
     config: SystemConfig | None = None,
     workloads: list[str] | None = None,
+    jobs: int = 1,
+    cache: bool = False,
+    cache_root=None,
+    timeout: float | None = None,
+    progress=None,
+    report_out: list | None = None,
 ) -> dict[str, DesignComparison]:
-    """Run every Figure 5 (workload x design) cell once."""
-    config = config or SystemConfig()
+    """Run every Figure 5 (workload x design) cell once.
+
+    *report_out*, when given a list, receives the orchestration
+    :class:`~repro.runs.RunReport` (wall time, cache accounting) so
+    callers like ``repro evaluate`` can surface it.
+    """
     names = workloads or SPEC_ORDER
-    traces = all_spec_traces(length, seed)
-    return {
-        name: run_design_comparison(traces[name], config=config)
+    grid = [
+        (name, scheme, simulation_spec(scheme, name, length, seed, config=config))
         for name in names
-    }
+        for scheme in FIGURE5_DESIGNS
+    ]
+    report = orchestrate(
+        "fig5",
+        [spec for _, _, spec in grid],
+        jobs=jobs,
+        use_cache=cache,
+        cache_root=cache_root,
+        timeout=timeout,
+        progress=progress,
+    )
+    report.raise_on_failure()
+    if report_out is not None:
+        report_out.append(report)
+    comparisons: dict[str, DesignComparison] = {}
+    for name in names:
+        results = {
+            scheme: _result_from_payload(report.payload(spec))
+            for wl, scheme, spec in grid
+            if wl == name
+        }
+        comparisons[name] = DesignComparison(workload=name, results=results)
+    return comparisons
 
 
 def figure5a(
@@ -88,13 +136,15 @@ def motivation(
     length: int = DEFAULT_LENGTH,
     seed: int = 1,
     config: SystemConfig | None = None,
+    jobs: int = 1,
+    cache: bool = False,
 ) -> tuple[float, float]:
     """Section 2.3's naive-approach numbers.
 
     Returns ``(sc_performance_loss, sc_write_amplification)`` — the paper
     reports 41.4 % and 5.5x.
     """
-    comparisons = figure5_comparisons(length, seed, config)
+    comparisons = figure5_comparisons(length, seed, config, jobs=jobs, cache=cache)
     table_ipc = ipc_table(comparisons)
     table_writes = write_traffic_table(comparisons)
     return 1.0 - table_ipc.average("sc"), table_writes.average("sc")
@@ -109,24 +159,54 @@ def _sensitivity(
     seed: int,
     workloads: list[str],
     schemes: list[str],
+    jobs: int = 1,
+    cache: bool = False,
+    cache_root=None,
+    timeout: float | None = None,
+    progress=None,
+    report_out: list | None = None,
 ) -> SensitivitySeries:
-    from repro.workloads.spec import spec_trace
+    """One Figure 6 panel as a single orchestrated grid.
 
-    series = SensitivitySeries(title=title, parameter=parameter)
-    traces = {name: spec_trace(name, length, seed) for name in workloads}
+    The whole (value x scheme x workload) grid — baselines included — is
+    submitted at once, so the pool keeps every worker busy across swept
+    values instead of synchronizing per point.
+    """
+    run_schemes = (["no_cc"] if "no_cc" not in schemes else []) + list(schemes)
+    grid = {}
     for value in values:
         config = make_config(value)
-        baselines = {
-            name: run_simulation("no_cc", trace, config)
-            for name, trace in traces.items()
-        }
+        for scheme in run_schemes:
+            for name in workloads:
+                grid[(value, scheme, name)] = simulation_spec(
+                    scheme, name, length, seed, config=config
+                )
+    report = orchestrate(
+        f"fig6-{parameter}",
+        list(grid.values()),
+        jobs=jobs,
+        use_cache=cache,
+        cache_root=cache_root,
+        timeout=timeout,
+        progress=progress,
+    )
+    report.raise_on_failure()
+    if report_out is not None:
+        report_out.append(report)
+
+    def result(value, scheme, name):
+        return _result_from_payload(report.payload(grid[(value, scheme, name)]))
+
+    series = SensitivitySeries(title=title, parameter=parameter)
+    for value in values:
+        baselines = {name: result(value, "no_cc", name) for name in workloads}
         for scheme in schemes:
             ipc_ratios = []
             write_ratios = []
-            for name, trace in traces.items():
-                result = run_simulation(scheme, trace, config)
-                ipc_ratios.append(result.ipc / baselines[name].ipc)
-                write_ratios.append(result.nvm_writes / baselines[name].nvm_writes)
+            for name in workloads:
+                cell = result(value, scheme, name)
+                ipc_ratios.append(cell.ipc / baselines[name].ipc)
+                write_ratios.append(cell.nvm_writes / baselines[name].nvm_writes)
             series.add_point(
                 value,
                 scheme,
@@ -142,6 +222,7 @@ def figure6a(
     seed: int = 1,
     workloads: list[str] | None = None,
     schemes: list[str] | None = None,
+    **run_kwargs,
 ) -> SensitivitySeries:
     """Figure 6(a): sweep the update-times limit N (M fixed at 64)."""
     return _sensitivity(
@@ -153,6 +234,7 @@ def figure6a(
         seed=seed,
         workloads=workloads or FIGURE6_WORKLOADS,
         schemes=schemes or FIGURE6_SCHEMES,
+        **run_kwargs,
     )
 
 
@@ -162,6 +244,7 @@ def figure6b(
     seed: int = 1,
     workloads: list[str] | None = None,
     schemes: list[str] | None = None,
+    **run_kwargs,
 ) -> SensitivitySeries:
     """Figure 6(b): sweep the dirty-address-queue entries M (N fixed at 16).
 
@@ -177,6 +260,7 @@ def figure6b(
         seed=seed,
         workloads=workloads or FIGURE6_WORKLOADS,
         schemes=schemes or ["ccnvm_no_ds", "ccnvm"],
+        **run_kwargs,
     )
 
 
@@ -185,6 +269,7 @@ def meta_cache_sweep(
     length: int = DEFAULT_LENGTH,
     seed: int = 1,
     workloads: list[str] | None = None,
+    **run_kwargs,
 ) -> SensitivitySeries:
     """Ablation: how much the paper's premise — metadata caching — buys.
 
@@ -216,6 +301,7 @@ def meta_cache_sweep(
         seed=seed,
         workloads=workloads or FIGURE6_WORKLOADS,
         schemes=["ccnvm"],
+        **run_kwargs,
     )
 
 
@@ -224,21 +310,33 @@ def deferred_spreading_ablation(
     seed: int = 1,
     config: SystemConfig | None = None,
     workloads: list[str] | None = None,
+    jobs: int = 1,
+    cache: bool = False,
+    cache_root=None,
 ) -> dict[str, dict[str, float]]:
     """DESIGN.md's ablation: what deferred spreading actually saves.
 
     Returns, per workload, the counter-HMAC computation counts of cc-NVM
     with and without DS, their ratio, and the IPC ratio between the two.
     """
-    from repro.workloads.spec import spec_trace
-
-    config = config or SystemConfig()
     names = workloads or FIGURE6_WORKLOADS
+    grid = {
+        (scheme, name): simulation_spec(scheme, name, length, seed, config=config)
+        for scheme in ("ccnvm", "ccnvm_no_ds")
+        for name in names
+    }
+    report = orchestrate(
+        "ablation-ds",
+        list(grid.values()),
+        jobs=jobs,
+        use_cache=cache,
+        cache_root=cache_root,
+    )
+    report.raise_on_failure()
     results: dict[str, dict[str, float]] = {}
     for name in names:
-        trace = spec_trace(name, length, seed)
-        with_ds = run_simulation("ccnvm", trace, config)
-        without = run_simulation("ccnvm_no_ds", trace, config)
+        with_ds = _result_from_payload(report.payload(grid[("ccnvm", name)]))
+        without = _result_from_payload(report.payload(grid[("ccnvm_no_ds", name)]))
         results[name] = {
             "hmacs_with_ds": with_ds.counter_hmacs,
             "hmacs_without_ds": without.counter_hmacs,
@@ -246,3 +344,23 @@ def deferred_spreading_ablation(
             "ipc_gain": with_ds.ipc / without.ipc - 1.0,
         }
     return results
+
+
+# Re-exported for callers that previously imported the orchestration-free
+# report type from here.
+__all__ = [
+    "DEFAULT_LENGTH",
+    "FIGURE5_DESIGNS",
+    "FIGURE6_SCHEMES",
+    "FIGURE6_WORKLOADS",
+    "RunReport",
+    "deferred_spreading_ablation",
+    "figure5_comparisons",
+    "figure5a",
+    "figure5b",
+    "figure6a",
+    "figure6b",
+    "headline",
+    "meta_cache_sweep",
+    "motivation",
+]

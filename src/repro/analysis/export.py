@@ -11,9 +11,69 @@ from __future__ import annotations
 import csv
 import io
 import json
+from dataclasses import asdict, fields
 
 from repro.analysis.report import FigureTable, SensitivitySeries
 from repro.core.schemes import SCHEME_LABELS
+from repro.sim.runner import SimulationResult
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Flatten a :class:`SimulationResult` into a JSON-able dict.
+
+    This is the serialization shared by the run cache, the run journal
+    and the ``BENCH_fig5.json`` artifact, so it must (and does) survive
+    an exact round-trip through :func:`result_from_dict`.
+    """
+    return asdict(result)
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict`."""
+    known = {f.name for f in fields(SimulationResult)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown SimulationResult fields: {sorted(unknown)}")
+    return SimulationResult(**data)
+
+
+def result_to_json(result: SimulationResult) -> str:
+    """Canonical JSON document for one simulation result."""
+    return json.dumps(result_to_dict(result), indent=2, sort_keys=True)
+
+
+def result_from_json(text: str) -> SimulationResult:
+    """Inverse of :func:`result_to_json`."""
+    return result_from_dict(json.loads(text))
+
+
+def fig5_bench_to_json(comparisons, run_meta: dict | None = None) -> str:
+    """The ``BENCH_fig5.json`` benchmark artifact.
+
+    Carries the full per-cell results (round-trippable), both normalized
+    figure tables, the headline scalars, and whatever orchestration
+    metadata (wall time, cache accounting, fingerprint) the caller adds.
+    """
+    from repro.analysis.report import headline_numbers, ipc_table, write_traffic_table
+
+    ipc = ipc_table(comparisons)
+    writes = write_traffic_table(comparisons)
+    document = {
+        "benchmark": "fig5",
+        "workloads": list(comparisons),
+        "results": {
+            workload: {
+                scheme: result_to_dict(result)
+                for scheme, result in cmp.results.items()
+            }
+            for workload, cmp in comparisons.items()
+        },
+        "fig5a_ipc": {"rows": ipc.rows, "averages": ipc.averages()},
+        "fig5b_writes": {"rows": writes.rows, "averages": writes.averages()},
+        "headline": asdict(headline_numbers(comparisons)),
+        "run": dict(run_meta or {}),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
 
 
 def table_to_csv(table: FigureTable) -> str:

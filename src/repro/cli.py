@@ -11,7 +11,15 @@ Commands:
   media faults) judged by the differential recovery oracle;
 * ``faults sites`` — the catalogue of instrumented crash sites;
 * ``lint`` — the persistence-domain static analyzer (persist-order
-  rules P0-P5, crash-site coverage, scheme contract).
+  rules P0-P5, crash-site coverage, scheme contract);
+* ``runs status`` / ``runs gc`` — inspect and prune the content-addressed
+  result cache the orchestrated commands share.
+
+``evaluate``, ``sweep`` and ``faults run`` all submit through the run
+orchestrator: ``--jobs N`` fans the grid out over N worker processes,
+results are reused from ``.repro-cache/`` when the simulator sources are
+unchanged (``--no-cache`` forces re-execution), and interrupted sweeps
+resume from their journal.
 """
 
 from __future__ import annotations
@@ -53,9 +61,37 @@ def cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_printer(args: argparse.Namespace):
+    """A live per-spec progress line (suppressed under --quiet)."""
+    if getattr(args, "quiet", False):
+        return None
+
+    def progress(outcome, done, total):
+        tag = outcome.source if outcome.ok else outcome.status.upper()
+        print(f"  [{done:>3}/{total}] {outcome.spec.describe():<42} "
+              f"{outcome.duration:6.2f}s  {tag}")
+
+    return progress
+
+
+def _run_kwargs(args: argparse.Namespace) -> dict:
+    """Orchestration knobs shared by evaluate/sweep/faults run."""
+    return {
+        "jobs": args.jobs,
+        "cache": not args.no_cache,
+        "timeout": args.timeout,
+        "progress": _progress_printer(args),
+    }
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    print(f"Figure 5 matrix: 8 workloads x 5 designs, {args.length} refs each")
-    comparisons = experiments.figure5_comparisons(args.length, args.seed)
+    print(f"Figure 5 matrix: 8 workloads x 5 designs, {args.length} refs each "
+          f"(jobs={args.jobs}, cache={'off' if args.no_cache else 'on'})")
+    reports: list = []
+    comparisons = experiments.figure5_comparisons(
+        args.length, args.seed, report_out=reports, **_run_kwargs(args)
+    )
+    report = reports[0]
     ipc = ipc_table(comparisons)
     writes = write_traffic_table(comparisons)
     print()
@@ -64,6 +100,26 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(writes.render())
     print()
     print(headline_numbers(comparisons).render())
+    print()
+    print(f"orchestration: {report.summary()}")
+    if args.json:
+        from repro.runs import code_fingerprint
+
+        from repro.analysis.export import fig5_bench_to_json
+
+        meta = {
+            "length": args.length,
+            "seed": args.seed,
+            "jobs": args.jobs,
+            "fingerprint": code_fingerprint(),
+            "wall_seconds": report.wall_seconds,
+            "executed": report.executed,
+            "cache_hits": report.cache_hits,
+            "journal_hits": report.journal_hits,
+        }
+        with open(args.json, "w") as f:
+            f.write(fig5_bench_to_json(comparisons, meta))
+        print(f"wrote benchmark artifact to {args.json}")
     if args.export:
         import os
 
@@ -80,9 +136,10 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
-    print(experiments.figure6a(length=args.length, seed=args.seed).render())
+    kwargs = _run_kwargs(args)
+    print(experiments.figure6a(length=args.length, seed=args.seed, **kwargs).render())
     print()
-    print(experiments.figure6b(length=args.length, seed=args.seed).render())
+    print(experiments.figure6b(length=args.length, seed=args.seed, **kwargs).render())
     return 0
 
 
@@ -137,7 +194,13 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
         import dataclasses
 
         cfg = dataclasses.replace(cfg, **overrides)
-    result = run_campaign(cfg)
+    result = run_campaign(
+        cfg,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        timeout=args.timeout,
+        progress=_progress_printer(args),
+    )
     print(result.summary())
     if args.export:
         import os
@@ -160,6 +223,42 @@ def cmd_faults_sites(_args: argparse.Namespace) -> int:
     for s in SITES:
         print(f"  {s.name:26s} [{s.component:8s}] {s.description}")
         print(f"  {'':26s} reached by: {', '.join(s.schemes)}")
+    return 0
+
+
+def cmd_runs_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runs import ResultCache
+
+    cache = ResultCache(args.root)
+    status = cache.status()
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"result cache at {status['root']} "
+          f"(current code fingerprint {status['fingerprint']})")
+    if not status["generations"]:
+        print("  no cached results")
+    for fingerprint, info in status["generations"].items():
+        marker = "current" if info["current"] else "stale"
+        print(f"  {fingerprint}  {info['entries']:5d} entries  "
+              f"{info['bytes'] / 1024:8.1f} KB  [{marker}]")
+    stats = status["stats"]
+    print(f"  lifetime: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['stores']} stores over {stats['flushes']} sweep(s)")
+    if status["journals"]:
+        print(f"  journals: {', '.join(status['journals'])}")
+    return 0
+
+
+def cmd_runs_gc(args: argparse.Namespace) -> int:
+    from repro.runs import ResultCache
+
+    cache = ResultCache(args.root)
+    removed, kept = cache.gc(everything=args.all)
+    scope = "all generations" if args.all else "stale generations"
+    print(f"gc ({scope}): removed {removed} entr(y/ies), kept {kept}")
     return 0
 
 
@@ -205,16 +304,30 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_info
     )
 
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (default 1)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="always re-execute; skip the on-disk result cache")
+        p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                       help="per-spec wall-clock budget (parallel runs only)")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress per-spec progress lines")
+
     evaluate = sub.add_parser("evaluate", help="regenerate Figure 5")
     evaluate.add_argument("--length", type=int, default=4000)
     evaluate.add_argument("--seed", type=int, default=1)
     evaluate.add_argument("--export", metavar="DIR", default=None,
                           help="also write CSV/JSON figure data into DIR")
+    evaluate.add_argument("--json", metavar="FILE", default=None,
+                          help="write the BENCH_fig5.json benchmark artifact")
+    add_run_options(evaluate)
     evaluate.set_defaults(func=cmd_evaluate)
 
     sweep = sub.add_parser("sweep", help="regenerate Figure 6")
     sweep.add_argument("--length", type=int, default=3000)
     sweep.add_argument("--seed", type=int, default=1)
+    add_run_options(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     simulate = sub.add_parser("simulate", help="run one workload on one design")
@@ -245,10 +358,28 @@ def build_parser() -> argparse.ArgumentParser:
     frun.add_argument("--seed", type=int, default=None)
     frun.add_argument("--export", metavar="DIR", default=None,
                       help="also write campaign CSV/JSON into DIR")
+    add_run_options(frun)
     frun.set_defaults(func=cmd_faults_run)
     fsub.add_parser(
         "sites", help="list the instrumented crash sites"
     ).set_defaults(func=cmd_faults_sites)
+
+    runs = sub.add_parser("runs", help="inspect/prune the run result cache")
+    rsub = runs.add_subparsers(dest="runs_command", required=True)
+    rstatus = rsub.add_parser("status", help="cache inventory and hit/miss stats")
+    rstatus.add_argument("--root", default=None, metavar="DIR",
+                         help="cache directory (default .repro-cache or "
+                              "$CCNVM_CACHE_DIR)")
+    rstatus.add_argument("--json", action="store_true",
+                         help="emit the machine-readable inventory")
+    rstatus.set_defaults(func=cmd_runs_status)
+    rgc = rsub.add_parser("gc", help="drop results from stale code fingerprints")
+    rgc.add_argument("--root", default=None, metavar="DIR",
+                     help="cache directory (default .repro-cache or "
+                          "$CCNVM_CACHE_DIR)")
+    rgc.add_argument("--all", action="store_true",
+                     help="drop everything, journals and stats included")
+    rgc.set_defaults(func=cmd_runs_gc)
 
     lint = sub.add_parser("lint", help="persistence-domain static analysis")
     lint.add_argument("--root", default=None, metavar="DIR",

@@ -110,6 +110,11 @@ class InjectionResult:
             "notes": list(self.notes),
         }
 
+    @staticmethod
+    def from_dict(data: dict) -> "InjectionResult":
+        """Inverse of :meth:`to_dict` (used by the run cache/journal)."""
+        return InjectionResult(**data)
+
 
 @dataclass
 class MediaResult:
@@ -133,6 +138,11 @@ class MediaResult:
             "ok": self.ok,
             "detail": self.detail,
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "MediaResult":
+        """Inverse of :meth:`to_dict` (used by the run cache/journal)."""
+        return MediaResult(**data)
 
 
 @dataclass
@@ -506,22 +516,59 @@ def _media_phase(scheme_name: str, cfg: CampaignConfig) -> list[MediaResult]:
 # ---------------------------------------------------------------------------
 
 
-def run_campaign(cfg: CampaignConfig | None = None) -> CampaignResult:
-    """Sweep schemes x crash sites (x media faults) and judge every run."""
+def _campaign_spec(kind: str, scheme: str, cfg: CampaignConfig, **extra):
+    """One campaign phase as an orchestratable run spec."""
+    from repro.runs import RunSpec
+
+    params = {"steps": cfg.steps, "data_capacity": cfg.data_capacity}
+    params.update(extra)
+    return RunSpec(kind=kind, scheme=scheme, seed=cfg.seed, params=params)
+
+
+def run_campaign(
+    cfg: CampaignConfig | None = None,
+    jobs: int = 1,
+    cache: bool = False,
+    cache_root=None,
+    timeout: float | None = None,
+    progress=None,
+) -> CampaignResult:
+    """Sweep schemes x crash sites (x media faults) and judge every run.
+
+    Two orchestrated waves: a per-scheme *discover* pass records how often
+    the workload visits each crash site, then every armed injection and
+    media phase runs as its own isolated spec — in parallel under
+    ``jobs``, content-cached under ``cache``.
+    """
+    from repro.runs import orchestrate
+
     cfg = cfg or CampaignConfig()
     result = CampaignResult(schemes=cfg.schemes, steps=cfg.steps, seed=cfg.seed)
+
+    discover = {s: _campaign_spec("discover", s, cfg) for s in cfg.schemes}
+    wave1 = orchestrate(
+        "faults-discover", list(discover.values()), jobs=jobs, use_cache=cache,
+        cache_root=cache_root, timeout=timeout, progress=progress,
+    )
+    wave1.raise_on_failure()
+    counts = {s: wave1.payload(spec) for s, spec in discover.items()}
+
+    #: (scheme, site) -> spec | synthesized NOT_REACHED result.
+    plan: list[tuple[str, object]] = []
     for scheme_name in cfg.schemes:
-        counts = _discover(scheme_name, cfg)
         for site in sites_for_scheme(scheme_name):
             if cfg.sites is not None and site not in cfg.sites:
                 continue
-            count = counts.get(site, 0)
+            count = counts[scheme_name].get(site, 0)
             if count == 0:
-                result.injections.append(
-                    InjectionResult(
-                        scheme_name, site, 0, False, "NOT_REACHED",
-                        "NOT_REACHED", True,
-                        notes=["site not reached by this scheme/workload"],
+                plan.append(
+                    (
+                        scheme_name,
+                        InjectionResult(
+                            scheme_name, site, 0, False, "NOT_REACHED",
+                            "NOT_REACHED", True,
+                            notes=["site not reached by this scheme/workload"],
+                        ),
                     )
                 )
                 continue
@@ -536,7 +583,39 @@ def run_campaign(cfg: CampaignConfig | None = None) -> CampaignResult:
                 hit = count
             else:
                 hit = max(1, count // 2)
-            result.injections.append(_inject(scheme_name, site, hit, cfg))
+            plan.append(
+                (
+                    scheme_name,
+                    _campaign_spec("injection", scheme_name, cfg, site=site, hit=hit),
+                )
+            )
+    media_specs = (
+        {s: _campaign_spec("media", s, cfg) for s in cfg.schemes} if cfg.media else {}
+    )
+
+    from repro.runs import RunSpec
+
+    pending = [spec for _, spec in plan if isinstance(spec, RunSpec)]
+    pending.extend(media_specs.values())
+    wave2 = orchestrate(
+        "faults-campaign", pending, jobs=jobs, use_cache=cache,
+        cache_root=cache_root, timeout=timeout, progress=progress,
+    )
+    wave2.raise_on_failure()
+
+    for scheme_name in cfg.schemes:
+        for owner, item in plan:
+            if owner != scheme_name:
+                continue
+            if isinstance(item, InjectionResult):
+                result.injections.append(item)
+            else:
+                result.injections.append(
+                    InjectionResult.from_dict(wave2.payload(item))
+                )
         if cfg.media:
-            result.media.extend(_media_phase(scheme_name, cfg))
+            result.media.extend(
+                MediaResult.from_dict(m)
+                for m in wave2.payload(media_specs[scheme_name])
+            )
     return result

@@ -1,0 +1,262 @@
+"""Spawn-safe worker pool executing :class:`~repro.runs.spec.RunSpec`s.
+
+Workers receive plain spec dicts (picklable under any start method),
+rebuild the experiment from scratch — trace generation, scheme
+construction, simulation — and return plain JSON-able payloads.  The
+``spawn`` start context is used deliberately: it is the only method that
+works everywhere, and it guarantees workers never inherit warmed-up
+interpreter state from the parent, which is what makes the determinism
+test (serial result == pooled result, byte for byte) meaningful.
+
+Failure isolation is layered:
+
+* an exception inside a spec is caught *in the worker* and comes back as
+  a ``failed`` outcome carrying the traceback — the sweep continues;
+* a worker process dying outright (or hanging) is bounded by the
+  per-chunk deadline derived from ``timeout``; the affected specs come
+  back as ``timeout`` outcomes and the pool is torn down afterwards
+  rather than joined.
+
+Dispatch is chunked (several specs per task) to amortize process startup
+and IPC; ``chunk=1`` gives the finest isolation, larger chunks less
+overhead.  With ``jobs <= 1`` everything runs inline in the parent —
+same code path through :func:`execute_spec`, no processes at all.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.runs.spec import RunSpec
+
+#: Grace seconds added on top of a chunk's nominal deadline.
+_TIMEOUT_GRACE = 5.0
+
+
+# ---------------------------------------------------------------------------
+# what a worker actually runs (module level: picklable under spawn)
+# ---------------------------------------------------------------------------
+
+
+def _execute_simulation(spec: RunSpec):
+    from repro.analysis.export import result_to_dict
+    from repro.sim.runner import run_simulation
+    from repro.workloads.spec import spec_trace
+
+    trace = spec_trace(spec.workload, spec.length, spec.seed)
+    result = run_simulation(
+        spec.scheme,
+        trace,
+        spec.system_config(),
+        data_capacity=spec.params.get("data_capacity"),
+        seed=spec.scheme_seed,
+        warmup_fraction=spec.warmup,
+    )
+    return result_to_dict(result)
+
+
+def _campaign_config(spec: RunSpec):
+    from repro.faults.campaign import CampaignConfig
+
+    return CampaignConfig(
+        schemes=(spec.scheme,),
+        steps=spec.params["steps"],
+        seed=spec.seed,
+        data_capacity=spec.params["data_capacity"],
+        media=False,
+    )
+
+
+def _execute_injection(spec: RunSpec):
+    from repro.faults.campaign import _inject
+
+    result = _inject(
+        spec.scheme, spec.params["site"], spec.params["hit"], _campaign_config(spec)
+    )
+    return result.to_dict()
+
+
+def _execute_media(spec: RunSpec):
+    from repro.faults.campaign import _media_phase
+
+    return [m.to_dict() for m in _media_phase(spec.scheme, _campaign_config(spec))]
+
+
+def _execute_discover(spec: RunSpec):
+    from repro.faults.campaign import _discover
+
+    return _discover(spec.scheme, _campaign_config(spec))
+
+
+_EXECUTORS = {
+    "simulation": _execute_simulation,
+    "injection": _execute_injection,
+    "media": _execute_media,
+    "discover": _execute_discover,
+}
+
+
+def execute_spec(spec_dict: dict):
+    """Execute one spec dict and return its JSON-able result payload."""
+    spec = RunSpec.from_dict(spec_dict)
+    return _EXECUTORS[spec.kind](spec)
+
+
+def _run_chunk(spec_dicts: list[dict]) -> list[dict]:
+    """Worker task: run a chunk of specs, isolating per-spec failures."""
+    out = []
+    for spec_dict in spec_dicts:
+        started = time.perf_counter()
+        try:
+            payload = execute_spec(spec_dict)
+            out.append(
+                {
+                    "status": "done",
+                    "payload": payload,
+                    "duration": time.perf_counter() - started,
+                }
+            )
+        except Exception:
+            out.append(
+                {
+                    "status": "failed",
+                    "payload": None,
+                    "duration": time.perf_counter() - started,
+                    "error": traceback.format_exc(),
+                }
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# outcomes and the pool
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunOutcome:
+    """One spec's fate after orchestration."""
+
+    spec: RunSpec
+    status: str  # 'done' | 'failed' | 'timeout'
+    payload: object = None
+    error: str = ""
+    duration: float = 0.0
+    #: Where the payload came from: 'run' | 'cache' | 'journal'.
+    source: str = "run"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+
+@dataclass
+class WorkerPool:
+    """Chunked, timeout-bounded executor over a spawn process pool."""
+
+    jobs: int = 1
+    #: Per-spec wall-clock budget in seconds (None = unbounded).
+    timeout: float | None = None
+    #: Specs per worker task (None = auto: ~4 tasks per worker).
+    chunk: int | None = None
+    start_method: str = "spawn"
+    #: Outcomes of the last :meth:`run`, in submission order.
+    last_outcomes: list[RunOutcome] = field(default_factory=list)
+
+    def run(self, specs: list[RunSpec], on_result=None) -> list[RunOutcome]:
+        """Execute every spec; one outcome per spec, in submission order."""
+        if not specs:
+            self.last_outcomes = []
+            return []
+        if self.jobs <= 1:
+            outcomes = self._run_inline(specs, on_result)
+        else:
+            outcomes = self._run_pooled(specs, on_result)
+        self.last_outcomes = outcomes
+        return outcomes
+
+    def _run_inline(self, specs, on_result) -> list[RunOutcome]:
+        outcomes = []
+        for spec in specs:
+            raw = _run_chunk([spec.to_dict()])[0]
+            outcome = RunOutcome(
+                spec,
+                raw["status"],
+                payload=raw["payload"],
+                error=raw.get("error", ""),
+                duration=raw["duration"],
+            )
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+        return outcomes
+
+    def _chunk_size(self, total: int) -> int:
+        if self.chunk is not None:
+            return max(1, self.chunk)
+        return max(1, -(-total // (self.jobs * 4)))
+
+    def _run_pooled(self, specs, on_result) -> list[RunOutcome]:
+        size = self._chunk_size(len(specs))
+        chunks = [specs[i:i + size] for i in range(0, len(specs), size)]
+        context = multiprocessing.get_context(self.start_method)
+        outcomes: list[RunOutcome] = []
+        timed_out = False
+        pool = context.Pool(processes=min(self.jobs, len(chunks)))
+        try:
+            pending = [
+                pool.apply_async(_run_chunk, ([s.to_dict() for s in chunk],))
+                for chunk in chunks
+            ]
+            for chunk, handle in zip(chunks, pending):
+                deadline = (
+                    None
+                    if self.timeout is None
+                    else self.timeout * len(chunk) + _TIMEOUT_GRACE
+                )
+                try:
+                    raws = handle.get(deadline)
+                except multiprocessing.TimeoutError:
+                    timed_out = True
+                    raws = [
+                        {
+                            "status": "timeout",
+                            "payload": None,
+                            "duration": deadline or 0.0,
+                            "error": f"no result within {deadline:.0f}s "
+                            "(worker hung or died)",
+                        }
+                    ] * len(chunk)
+                except Exception:
+                    # The worker process died before returning (e.g. a
+                    # hard crash the in-worker try/except cannot catch).
+                    raws = [
+                        {
+                            "status": "failed",
+                            "payload": None,
+                            "duration": 0.0,
+                            "error": traceback.format_exc(),
+                        }
+                    ] * len(chunk)
+                for spec, raw in zip(chunk, raws):
+                    outcome = RunOutcome(
+                        spec,
+                        raw["status"],
+                        payload=raw["payload"],
+                        error=raw.get("error", ""),
+                        duration=raw["duration"],
+                    )
+                    outcomes.append(outcome)
+                    if on_result is not None:
+                        on_result(outcome)
+        finally:
+            # A hung worker would block join() forever; terminate instead.
+            if timed_out:
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        return outcomes

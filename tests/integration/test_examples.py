@@ -57,7 +57,9 @@ class TestExamples:
         assert "detected_by_hmac" in result.stdout
 
     def test_evaluate_designs_small(self):
-        result = run_example("evaluate_designs.py", "--length", "500")
+        # --no-cache keeps the checkout free of a .repro-cache directory
+        result = run_example("evaluate_designs.py", "--length", "500",
+                             "--jobs", "2", "--no-cache")
         assert result.returncode == 0, result.stderr
         assert "Figure 5(a)" in result.stdout
         assert "headline numbers" in result.stdout

@@ -121,9 +121,58 @@ class TestCommands:
         assert main(["lint", "--strict"]) == 0
 
     @pytest.mark.slow
-    def test_evaluate_runs_small(self, capsys):
-        assert main(["evaluate", "--length", "300"]) == 0
+    def test_evaluate_runs_small(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)  # the cache/journal land here
+        assert main(["evaluate", "--length", "300", "--quiet"]) == 0
         out = capsys.readouterr().out
         assert "Figure 5(a)" in out
         assert "Figure 5(b)" in out
         assert "average" in out
+        assert "orchestration: 40 specs: 40 executed" in out
+
+    @pytest.mark.slow
+    def test_evaluate_second_run_is_served_from_cache(self, capsys,
+                                                      monkeypatch, tmp_path):
+        import json
+
+        monkeypatch.chdir(tmp_path)
+        assert main(["evaluate", "--length", "300", "--quiet",
+                     "--json", "BENCH_fig5.json"]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--length", "300", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 40 from cache" in out
+        artifact = json.loads((tmp_path / "BENCH_fig5.json").read_text())
+        assert artifact["benchmark"] == "fig5"
+        assert len(artifact["workloads"]) == 8
+        capsys.readouterr()
+        assert main(["runs", "status", "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["stats"]["hits"] >= 40
+
+    @pytest.mark.slow
+    def test_evaluate_no_cache_reexecutes(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["evaluate", "--length", "300", "--quiet", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["evaluate", "--length", "300", "--quiet", "--no-cache"]) == 0
+        assert "40 executed, 0 from cache" in capsys.readouterr().out
+
+    def test_runs_status_on_empty_cache(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["runs", "status"]) == 0
+        assert "no cached results" in capsys.readouterr().out
+
+    def test_runs_gc_reports_scope(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        assert main(["runs", "gc", "--all"]) == 0
+        assert "all generations" in capsys.readouterr().out
+
+    def test_run_option_defaults(self):
+        args = build_parser().parse_args(["evaluate"])
+        assert args.jobs == 1 and not args.no_cache
+        assert args.timeout is None and args.json is None
+        args = build_parser().parse_args(
+            ["faults", "run", "--jobs", "4", "--no-cache"]
+        )
+        assert args.jobs == 4 and args.no_cache

@@ -76,6 +76,81 @@ class TestAsciiBars:
         assert "beta:" in text
 
 
+def sample_result(scheme="ccnvm", ipc=0.9):
+    from repro.sim.runner import SimulationResult
+
+    return SimulationResult(
+        scheme=scheme,
+        workload="lbm",
+        instructions=1000,
+        cycles=2000,
+        ipc=ipc,
+        nvm_writes=300,
+        nvm_reads=120,
+        writes_by_region={"data": 200, "counter": 100},
+        llc_writebacks=180,
+        epochs=7,
+        drains_by_trigger={"update_limit": 5, "queue_full": 2},
+        counter_hmacs=42,
+        data_hmacs=17,
+        stats={"meta.hits": 12.0},
+    )
+
+
+class TestResultRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        from repro.analysis.export import result_from_dict, result_to_dict
+
+        result = sample_result()
+        clone = result_from_dict(result_to_dict(result))
+        assert clone == result
+
+    def test_json_round_trip_is_exact_and_stable(self):
+        from repro.analysis.export import result_from_json, result_to_json
+
+        result = sample_result()
+        text = result_to_json(result)
+        assert result_from_json(text) == result
+        # canonical: serializing again yields identical bytes
+        assert result_to_json(result_from_json(text)) == text
+
+    def test_unknown_fields_are_rejected(self):
+        import pytest
+
+        from repro.analysis.export import result_from_dict, result_to_dict
+
+        data = result_to_dict(sample_result())
+        data["quantum_flux"] = 1
+        with pytest.raises(ValueError, match="quantum_flux"):
+            result_from_dict(data)
+
+
+class TestFig5BenchArtifact:
+    def test_artifact_structure(self):
+        from repro.analysis.export import fig5_bench_to_json, result_from_dict
+        from repro.sim.runner import DesignComparison
+
+        results = {
+            "no_cc": sample_result("no_cc", ipc=1.0),
+            "sc": sample_result("sc", ipc=0.5),
+            "osiris_plus": sample_result("osiris_plus", ipc=0.7),
+            "ccnvm_no_ds": sample_result("ccnvm_no_ds", ipc=0.75),
+            "ccnvm": sample_result("ccnvm", ipc=0.9),
+        }
+        comparisons = {"lbm": DesignComparison("lbm", results)}
+        doc = json.loads(
+            fig5_bench_to_json(comparisons, {"length": 4000, "jobs": 2})
+        )
+        assert doc["benchmark"] == "fig5"
+        assert doc["workloads"] == ["lbm"]
+        assert doc["run"] == {"length": 4000, "jobs": 2}
+        assert doc["fig5a_ipc"]["rows"]["lbm"]["ccnvm"] == 0.9
+        assert "ccnvm_ipc_gain_over_osiris" in doc["headline"]
+        # per-cell payloads round-trip back into live results
+        rebuilt = result_from_dict(doc["results"]["lbm"]["ccnvm"])
+        assert rebuilt == results["ccnvm"]
+
+
 class TestLintJson:
     def test_lint_report_round_trips(self, tmp_path):
         from repro.analysis.export import lint_to_json
