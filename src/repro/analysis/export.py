@@ -162,6 +162,28 @@ def campaign_to_csv(result) -> str:
     return buffer.getvalue()
 
 
+def crash_summary_to_json(summary: dict) -> str:
+    """JSON document for a crash exploration (``run_explore`` summary).
+
+    The summary is already pure content — no timings, no cache counters —
+    so this serialization is byte-identical across serial, parallel and
+    fully-cached runs of the same exploration.
+    """
+    return json.dumps(summary, indent=2, sort_keys=True)
+
+
+def reproducer_to_json(repro) -> str:
+    """JSON artifact for one minimized crash reproducer (``Reproducer``)."""
+    return json.dumps(repro.to_dict(), indent=2, sort_keys=True)
+
+
+def reproducer_from_json(text: str):
+    """Inverse of :func:`reproducer_to_json`."""
+    from repro.crashsim import Reproducer
+
+    return Reproducer.from_dict(json.loads(text))
+
+
 def lint_to_json(report) -> str:
     """JSON document for a persist-order lint run (``LintReport``).
 

@@ -10,13 +10,17 @@ Commands:
 * ``faults run`` — the fault-injection campaign (crash sites x schemes x
   media faults) judged by the differential recovery oracle;
 * ``faults sites`` — the catalogue of instrumented crash sites;
+* ``crash explore`` — enumerate every crash state ADR semantics permit
+  for a recorded persist trace and judge each one's recovery; ``crash
+  replay`` / ``crash minimize`` — re-run and delta-debug the replayable
+  reproducer artifacts the explorer emits for violations;
 * ``lint`` — the persistence-domain static analyzer (persist-order
   rules P0-P5, crash-site coverage, scheme contract);
 * ``runs status`` / ``runs gc`` — inspect and prune the content-addressed
   result cache the orchestrated commands share.
 
-``evaluate``, ``sweep`` and ``faults run`` all submit through the run
-orchestrator: ``--jobs N`` fans the grid out over N worker processes,
+``evaluate``, ``sweep``, ``faults run`` and ``crash explore`` all submit
+through the run orchestrator: ``--jobs N`` fans the grid out over N worker processes,
 results are reused from ``.repro-cache/`` when the simulator sources are
 unchanged (``--no-cache`` forces re-execution), and interrupted sweeps
 resume from their journal.
@@ -216,13 +220,157 @@ def cmd_faults_run(args: argparse.Namespace) -> int:
     return 0 if result.passed else 1
 
 
-def cmd_faults_sites(_args: argparse.Namespace) -> int:
-    from repro.faults import SITES
+def cmd_faults_sites(args: argparse.Namespace) -> int:
+    from repro.faults import SITES, sites_for_scheme
 
-    print("instrumented crash sites (component.step):")
-    for s in SITES:
+    sites = SITES
+    if args.scheme:
+        reachable = set(sites_for_scheme(args.scheme))
+        sites = tuple(s for s in SITES if s.name in reachable)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            [
+                {
+                    "name": s.name,
+                    "component": s.component,
+                    "description": s.description,
+                    "schemes": list(s.schemes),
+                }
+                for s in sites
+            ],
+            indent=2,
+        ))
+        return 0
+    scope = f" reachable by {args.scheme}" if args.scheme else ""
+    print(f"instrumented crash sites (component.step){scope}:")
+    for s in sites:
         print(f"  {s.name:26s} [{s.component:8s}] {s.description}")
         print(f"  {'':26s} reached by: {', '.join(s.schemes)}")
+    return 0
+
+
+def cmd_crash_explore(args: argparse.Namespace) -> int:
+    from repro.crashsim import ExploreConfig, run_explore
+    from repro.crashsim.explore import DEFAULT_SHARDS, DEFAULT_STEPS
+
+    cfg = ExploreConfig(
+        schemes=tuple(args.schemes),
+        steps=DEFAULT_STEPS if args.steps is None else args.steps,
+        window=args.window,
+        budget=args.budget,
+        seed=args.seed,
+        shards=DEFAULT_SHARDS if args.shards is None else args.shards,
+        torn_batches=args.torn_batches,
+        nested_depth=args.nested_depth,
+    )
+    print(f"crash exploration: {', '.join(cfg.schemes)} @ {cfg.steps} steps, "
+          f"window {cfg.window}, budget {cfg.budget}, seed {cfg.seed} "
+          f"(jobs={args.jobs}, cache={'off' if args.no_cache else 'on'})")
+    summary, report = run_explore(cfg, **_run_kwargs(args))
+    print()
+    ok = True
+    for scheme, entry in summary["schemes"].items():
+        violations = entry["violations"]
+        status = "ok" if not violations and entry["nested_ok"] else "VIOLATED"
+        ok = ok and status == "ok"
+        outcomes = ", ".join(f"{k}={v}" for k, v in entry["outcomes"].items())
+        print(f"  {scheme:14s} {entry['states_evaluated']:5d} states "
+              f"({entry['distinct_states']} distinct)  [{outcomes}]  "
+              f"{len(violations)} violation(s), "
+              f"nested {'ok' if entry['nested_ok'] else 'FAILED'}  -> {status}")
+        for v in violations[:5]:
+            print(f"      {v['state']}: {'; '.join(v['verdict']['problems'][:2])}")
+    print(f"\norchestration: {report.summary()}")
+    if args.export:
+        from repro.analysis.export import crash_summary_to_json
+
+        with open(args.export, "w") as f:
+            f.write(crash_summary_to_json(summary))
+        print(f"wrote exploration summary to {args.export}")
+    if args.reproducers:
+        import json
+        import os
+
+        os.makedirs(args.reproducers, exist_ok=True)
+        written = 0
+        for scheme, entry in summary["schemes"].items():
+            for v in entry["violations"]:
+                if "reproducer" not in v:
+                    continue
+                name = v["state"].replace("=", "").replace(",", "_")
+                path = os.path.join(args.reproducers, f"{scheme}_{name}.json")
+                with open(path, "w") as f:
+                    json.dump(v["reproducer"], f, indent=2, sort_keys=True)
+                written += 1
+        print(f"wrote {written} minimized reproducer(s) to {args.reproducers}/")
+    return 0 if ok else 1
+
+
+def _load_reproducer(path: str):
+    from repro.analysis.export import reproducer_from_json
+
+    with open(path) as f:
+        return reproducer_from_json(f.read())
+
+
+def cmd_crash_replay(args: argparse.Namespace) -> int:
+    from repro.crashsim import replay
+
+    repro_artifact = _load_reproducer(args.file)
+    print(f"replaying: {repro_artifact.description}")
+    print(f"  scheme {repro_artifact.scheme}, {len(repro_artifact.ops)} persist "
+          f"micro-op(s), schedule {repro_artifact.schedule or 'none'}")
+    verdict = replay(repro_artifact)
+    expected = {p.split(":", 1)[0] for p in repro_artifact.problems}
+    reproduced = expected <= set(verdict.signature())
+    print(f"  outcome {verdict.outcome} (recorded {repro_artifact.outcome})")
+    for problem in verdict.problems:
+        print(f"    {problem}")
+    print("failure reproduced" if reproduced else "failure did NOT reproduce")
+    return 0 if reproduced else 1
+
+
+def cmd_crash_minimize(args: argparse.Namespace) -> int:
+    from repro.analysis.export import reproducer_to_json
+    from repro.crashsim import (
+        RecoveryOracle,
+        build_state,
+        from_state,
+        minimize,
+        rebuild_trace,
+    )
+
+    repro_artifact = _load_reproducer(args.file)
+    trace = rebuild_trace(repro_artifact)
+    oracle = RecoveryOracle(
+        repro_artifact.scheme,
+        data_capacity=repro_artifact.data_capacity,
+        seed=repro_artifact.seed,
+    )
+    schedule = repro_artifact.schedule or None
+    signature = frozenset(p.split(":", 1)[0] for p in repro_artifact.problems)
+    minimal = minimize(
+        trace, repro_artifact.ops, oracle, signature, schedule=schedule
+    )
+    final = oracle.evaluate(build_state(trace, minimal), schedule)
+    result = from_state(
+        trace,
+        minimal,
+        final,
+        description=(f"{repro_artifact.description} (re-minimized from "
+                     f"{len(repro_artifact.ops)} to {len(minimal)} ops)"),
+        data_capacity=repro_artifact.data_capacity,
+        schedule=schedule,
+    )
+    print(f"minimized {len(repro_artifact.ops)} -> {len(minimal)} persist micro-op(s)")
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(reproducer_to_json(result))
+        print(f"wrote minimized reproducer to {args.out}")
+    else:
+        print(reproducer_to_json(result))
     return 0
 
 
@@ -360,9 +508,58 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also write campaign CSV/JSON into DIR")
     add_run_options(frun)
     frun.set_defaults(func=cmd_faults_run)
-    fsub.add_parser(
-        "sites", help="list the instrumented crash sites"
-    ).set_defaults(func=cmd_faults_sites)
+    fsites = fsub.add_parser("sites", help="list the instrumented crash sites")
+    fsites.add_argument("--scheme", default=None, choices=sorted(SCHEME_LABELS),
+                        help="only the sites this design's execution can reach")
+    fsites.add_argument("--json", action="store_true",
+                        help="emit the machine-readable catalogue")
+    fsites.set_defaults(func=cmd_faults_sites)
+
+    crash = sub.add_parser(
+        "crash", help="systematic crash-state exploration (ADR semantics)"
+    )
+    csub = crash.add_subparsers(dest="crash_command", required=True)
+    cexplore = csub.add_parser(
+        "explore",
+        help="enumerate every ADR-permitted crash state and judge recovery",
+    )
+    cexplore.add_argument("--schemes", nargs="+", metavar="SCHEME",
+                          choices=sorted(SCHEME_LABELS), default=["ccnvm"])
+    cexplore.add_argument("--steps", type=int, default=None,
+                          help="write-backs in the recorded workload "
+                               "(default: the smoke budget)")
+    cexplore.add_argument("--window", type=int, default=4,
+                          help="in-flight reordering window (units)")
+    cexplore.add_argument("--budget", type=int, default=16,
+                          help="drop-set budget per crash point; exhaustive "
+                               "below it, seeded sampling above")
+    cexplore.add_argument("--seed", type=int, default=7)
+    cexplore.add_argument("--shards", type=int, default=None,
+                          help="enumerate cells per scheme (default 4)")
+    cexplore.add_argument("--torn-batches", action="store_true",
+                          help="also emit protocol-violating partially-applied "
+                               "batches (demonstrates oracle sensitivity)")
+    cexplore.add_argument("--nested-depth", type=int, default=2, choices=(1, 2),
+                          help="crash-during-recovery schedule depth")
+    cexplore.add_argument("--export", metavar="FILE", default=None,
+                          help="write the JSON exploration summary to FILE")
+    cexplore.add_argument("--reproducers", metavar="DIR", default=None,
+                          help="write minimized reproducer JSON artifacts "
+                               "into DIR")
+    add_run_options(cexplore)
+    cexplore.set_defaults(func=cmd_crash_explore)
+    creplay = csub.add_parser(
+        "replay", help="re-run a reproducer artifact on a fresh oracle"
+    )
+    creplay.add_argument("file", help="reproducer JSON artifact")
+    creplay.set_defaults(func=cmd_crash_replay)
+    cminimize = csub.add_parser(
+        "minimize", help="delta-debug a reproducer's op list to 1-minimal"
+    )
+    cminimize.add_argument("file", help="reproducer JSON artifact")
+    cminimize.add_argument("--out", metavar="FILE", default=None,
+                           help="write the minimized artifact (default stdout)")
+    cminimize.set_defaults(func=cmd_crash_minimize)
 
     runs = sub.add_parser("runs", help="inspect/prune the run result cache")
     rsub = runs.add_subparsers(dest="runs_command", required=True)

@@ -128,6 +128,11 @@ class ControllerConfig:
     #: Initial backoff between read retries, in core cycles (doubles per
     #: attempt — PCM drift faults often clear after a short wait).
     read_retry_backoff_cycles: int = 16
+    #: Hard ceiling on a single retry's backoff, in core cycles.  The
+    #: exponential doubling must not grow unbounded with the retry limit:
+    #: a burst of correlated faults would otherwise stall the read port
+    #: for arbitrarily long while recovery is trying to make progress.
+    read_retry_backoff_cap_cycles: int = 256
 
 
 @dataclass(frozen=True)

@@ -78,9 +78,11 @@ class EncryptionEngine:
         major, minor = counters.counter_pair(self.layout.block_slot(addr))
         ciphertext = self.cipher.encrypt(plaintext, addr, major, minor)
         code = self.hmac.data_hmac(ciphertext, addr, major, minor)
+        self.wpq.begin_combined()
         self.wpq.write(addr, ciphertext)
         hmac_line, offset = self.layout.data_hmac_location(addr)
         self.wpq.write_partial(hmac_line, offset, code)
+        self.wpq.end_combined()
         self._writebacks.inc()
 
     # -- fill path ----------------------------------------------------------------------
@@ -138,9 +140,11 @@ class EncryptionEngine:
             new_major, new_minor = new_counters.counter_pair(block)
             ciphertext = self.cipher.encrypt(plaintext, addr, new_major, new_minor)
             code = self.hmac.data_hmac(ciphertext, addr, new_major, new_minor)
+            self.wpq.begin_combined()
             self.wpq.write(addr, ciphertext)
             hmac_line, offset = self.layout.data_hmac_location(addr)
             self.wpq.write_partial(hmac_line, offset, code)
+            self.wpq.end_combined()
             rewritten += 1
         self._reencryptions.inc()
         return rewritten

@@ -388,9 +388,22 @@ class RecoveryManager:
 
         located_by_log = False
         if self.policy.use_counter_log and not resumed:
-            located_by_log = self._check_counter_log(
-                report, leaf_retries, rolled_leaves
-            )
+            if report.matched_root == "new":
+                # Same window as the Nwb carve-out below: the crash
+                # landed between the epoch's end signal and the root
+                # commit, so the stored counters are fully fresh while
+                # the extension registers still hold the closed epoch's
+                # counts (they are cleared atomically with commit_root).
+                # Comparing would false-alarm on every such crash.
+                report.notes.append(
+                    "extension-register check skipped: the stored tree "
+                    "already matches root_new, so the epoch committed and "
+                    "the not-yet-cleared registers describe no open window"
+                )
+            else:
+                located_by_log = self._check_counter_log(
+                    report, leaf_retries, rolled_leaves
+                )
 
         if resumed:
             pass  # freshness state was consumed by the interrupted run

@@ -151,6 +151,18 @@ class SecureNVMScheme(ABC):
     def _update_tree(self, now: int, counter_addr: int) -> int:
         """Absorb the counter update into the Merkle tree; returns cycles."""
 
+    def _count_writeback_extras(self, counter_addr: int) -> None:
+        """Extra persistent-register bumps inside the write transaction.
+
+        Runs between :meth:`TCB.count_writeback` and the combined-group
+        close, i.e. atomically with the data/HMAC write under ADR.  A
+        design whose recovery cross-checks a per-line register against
+        the written data (cc-NVM's extension registers) must bump it
+        here, not in :meth:`_post_writeback` — otherwise a crash could
+        separate the data from its register and false-alarm recovery.
+        """
+        return None
+
     def _post_writeback(
         self, now: int, counter_addr: int, line: CacheLine, overflowed: bool
     ) -> int:
@@ -223,8 +235,11 @@ class SecureNVMScheme(ABC):
         # so no crash point separates them — otherwise recovery's
         # retries-vs-Nwb freshness comparison would false-alarm in either
         # direction.
+        self.wpq.begin_combined()
         self.engine.write_data_block(addr, plaintext, counters)
         self.tcb.count_writeback()
+        self._count_writeback_extras(counter_addr)
+        self.wpq.end_combined()
         self._fault("writeback.after_data")
         cycles += self.controller.post_writes(now + cycles, 2)
 

@@ -168,12 +168,18 @@ class CcNVM(SecureNVMScheme):
             node = parent
             child_line = parent_line
 
+    def _count_writeback_extras(self, counter_addr: int) -> None:
+        # The extension-register bump must land atomically with the data
+        # write it describes: recovery replays counter_log against the
+        # stored counters, so a crash separating the two would make the
+        # register file over- or under-count and false-alarm the check.
+        if self.locate_registers:
+            self.tcb.log_counter_update(counter_addr)
+
     def _post_writeback(
         self, now: int, counter_addr: int, line: CacheLine, overflowed: bool
     ) -> int:
         cycles = 0
-        if self.locate_registers:
-            self.tcb.log_counter_update(counter_addr)
         if overflowed:
             # Commit immediately so the stored counter never trails a page
             # re-key (keeps recovery retries within one major generation).

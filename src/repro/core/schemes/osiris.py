@@ -45,8 +45,15 @@ class OsirisPlus(SecureNVMScheme):
     ) -> int:
         # Stop-loss: the Nth update (or a page re-key, whose counter must
         # not trail the re-encrypted data) persists the counter line.
+        # The persist is *ordered* (a one-line atomic batch, i.e. a WPQ
+        # fence): Osiris Plus's staleness bound is only a bound if the
+        # stop-loss write cannot be lost behind later write-backs still
+        # in flight toward the WPQ.
         if overflowed or line.update_count >= self.config.epoch.update_limit:
-            self.wpq.write(counter_addr, self.meta.encoded(line))
+            self.wpq.begin_atomic()
+            self.wpq.write_atomic(counter_addr, self.meta.encoded(line))
+            self.wpq.commit_atomic()
+            self._fault("writeback.after_stoploss")
             self.meta.cache.clean(counter_addr)
             return self.controller.post_write(now)
         return 0

@@ -40,6 +40,7 @@ from repro.crypto.prf import SecretKey
         "count_writeback",
         "log_counter_update",
         "begin_recovery",
+        "restore_registers",
     ),
 )
 class TCB:
@@ -73,6 +74,15 @@ class TCB:
         #: stored tree need not match either root, and retry counts are
         #: no longer commensurable with ``nwb``).
         self.recovery_pending = False
+        #: Optional persist-trace callback (see :mod:`repro.crashsim`):
+        #: called with ``(mutator, addr)`` after every persistent-register
+        #: micro-op so a recorder can interleave register updates with the
+        #: WPQ persist stream.
+        self.trace_hook = None
+
+    def _trace(self, mutator: str, addr: int | None = None) -> None:
+        if self.trace_hook is not None:
+            self.trace_hook(mutator, addr)
 
     # -- root register manipulation ------------------------------------------------
 
@@ -83,18 +93,21 @@ class TCB:
         if not 0 <= slot < MERKLE_ARITY:
             raise ValueError(f"root slot {slot} out of range")
         self.root_new = write_slot(self.root_new, slot, hmac)
+        self._trace("update_root_new")
 
     def set_root_new(self, root: bytes) -> None:
         """Overwrite ``root_new`` wholesale (recovery / full recompute)."""
         if len(root) != CACHE_LINE_SIZE:
             raise ValueError("the root register holds one 64 B root node")
         self.root_new = bytes(root)
+        self._trace("set_root_new")
 
     def commit_root(self) -> None:
         """Epoch commit: ``root_old`` catches up with ``root_new``."""
         self.root_old = self.root_new
         self.nwb = 0
         self.counter_log.clear()
+        self._trace("commit_root")
 
     def set_roots(self, root: bytes) -> None:
         """Set both registers to *root* (post-recovery reset)."""
@@ -103,6 +116,7 @@ class TCB:
         self.nwb = 0
         self.counter_log.clear()
         self.recovery_pending = False
+        self._trace("set_roots")
 
     def begin_recovery(self) -> None:
         """Set the persistent ``recovery_pending`` flag.
@@ -112,16 +126,53 @@ class TCB:
         to the next attempt.  Only :meth:`set_roots` clears the flag.
         """
         self.recovery_pending = True
+        self._trace("begin_recovery")
 
     # -- write-back accounting -------------------------------------------------------
 
     def count_writeback(self) -> None:
         """Record one write-back event for the Nwb register."""
         self.nwb += 1
+        self._trace("count_writeback")
 
     def log_counter_update(self, counter_addr: int) -> None:
         """Extension registers: count one update of a dirty counter line."""
         self.counter_log[counter_addr] = self.counter_log.get(counter_addr, 0) + 1
+        self._trace("log_counter_update", counter_addr)
+
+    # -- register snapshot / restore -----------------------------------------------
+
+    def registers_snapshot(self) -> dict:
+        """Read-only snapshot of every persistent register.
+
+        Used by the crash-state explorer to pin the register file at a
+        recorded trace point; keys survive in the TCB itself and are never
+        part of the snapshot.
+        """
+        return {
+            "root_new": self.root_new,
+            "root_old": self.root_old,
+            "nwb": self.nwb,
+            "counter_log": dict(self.counter_log),
+            "recovery_pending": self.recovery_pending,
+        }
+
+    def restore_registers(self, snapshot: dict) -> None:
+        """Overwrite the persistent register file from a snapshot.
+
+        This is a *simulation-harness* micro-op: real hardware has no
+        such operation, but the crash-state explorer needs to rewind the
+        registers to an earlier recorded state before replaying a crash
+        image against recovery.
+        """
+        self.root_new = bytes(snapshot["root_new"])
+        self.root_old = bytes(snapshot["root_old"])
+        self.nwb = int(snapshot["nwb"])
+        self.counter_log.clear()
+        self.counter_log.update(
+            {int(addr): int(count) for addr, count in snapshot["counter_log"].items()}
+        )
+        self.recovery_pending = bool(snapshot["recovery_pending"])
 
     # -- crash semantics ----------------------------------------------------------------
 

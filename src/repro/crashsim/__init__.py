@@ -1,0 +1,66 @@
+"""Systematic crash-state exploration for the secure-NVM designs.
+
+The fault campaign (:mod:`repro.faults`) crashes at 16 hand-named
+micro-steps; this package turns the recovery oracle into a *falsifier*:
+
+1. :mod:`~repro.crashsim.trace` records the ordered stream of persist
+   micro-ops a workload produces (WPQ writes, atomic batches, TCB
+   register updates) through plain ``trace_hook`` callbacks;
+2. :mod:`~repro.crashsim.enumerate` expands the trace into every
+   durable state ADR semantics permit — prefixes, bounded in-flight
+   window drops, batches all-or-nothing;
+3. :mod:`~repro.crashsim.oracle` runs the design's own recovery on each
+   state and checks the documented contract, including nested
+   crash-during-recovery schedules;
+4. :mod:`~repro.crashsim.minimize` delta-debugs any violation to a
+   minimal replayable reproducer;
+5. :mod:`~repro.crashsim.explore` fans the whole thing out through the
+   run orchestrator (cached, journaled, parallel).
+"""
+
+from repro.crashsim.enumerate import (
+    CrashEnumerator,
+    CrashState,
+    applied_ops,
+    build_state,
+)
+from repro.crashsim.explore import ExploreConfig, explore_specs, record_trace, run_explore
+from repro.crashsim.minimize import (
+    Reproducer,
+    from_state,
+    minimize,
+    rebuild_trace,
+    replay,
+)
+from repro.crashsim.oracle import ALLOWED_OUTCOMES, RecoveryOracle, Verdict
+from repro.crashsim.trace import (
+    PersistOp,
+    PersistTrace,
+    PersistTraceRecorder,
+    TraceUnit,
+)
+from repro.crashsim.workload import record_workload
+
+__all__ = [
+    "ALLOWED_OUTCOMES",
+    "CrashEnumerator",
+    "CrashState",
+    "ExploreConfig",
+    "PersistOp",
+    "PersistTrace",
+    "PersistTraceRecorder",
+    "RecoveryOracle",
+    "Reproducer",
+    "TraceUnit",
+    "Verdict",
+    "applied_ops",
+    "build_state",
+    "explore_specs",
+    "from_state",
+    "minimize",
+    "rebuild_trace",
+    "record_trace",
+    "record_workload",
+    "replay",
+    "run_explore",
+]

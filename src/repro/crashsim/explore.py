@@ -1,0 +1,336 @@
+"""The explorer driver: fan crash-state enumeration through the orchestrator.
+
+A full exploration of one scheme is embarrassingly parallel but far too
+big for one cacheable unit, so it is cut into **cells**, each a
+:class:`~repro.runs.spec.RunSpec` of the new ``crash`` kind:
+
+* ``enumerate`` cells shard the trace's crash points by residue class
+  (``k % shards == shard``).  Every worker regenerates the identical
+  deterministic trace — specs stay tiny, exactly like the simulation
+  specs that ship workload recipes instead of traces — expands its own
+  points, runs the oracle on each state, and returns distinct
+  image hashes, an outcome histogram and (minimized) violations;
+* ``nested`` cells take the full-trace state and crash *recovery
+  itself* at one scheduled recovery site (depth 1) or two in sequence
+  (depth 2), exercising the restartable ``recovery_pending`` path.
+
+Because cells run through :func:`repro.runs.orchestrate`, explorations
+are content-cached (a warm re-run executes nothing), journaled,
+resumable and parallel.  The merged summary is deliberately free of
+timings and orchestration counts, so a serial run and a ``--jobs 2``
+run of the same exploration produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.faults.plan import RECOVERY_SITES
+
+#: Smoke-budget defaults: small enough for CI, large enough that every
+#: scheme clears over 200 distinct states (measured floor at 96 steps:
+#: 255, for the schemes whose epochs dedupe most aggressively).
+DEFAULT_STEPS = 96
+DEFAULT_SHARDS = 4
+#: Violations minimized per cell; the rest ship unminimized (a cell
+#: drowning in violations is already actionable from the first few).
+MAX_MINIMIZE = 3
+
+
+@dataclass(frozen=True)
+class ExploreConfig:
+    """Shape of one exploration."""
+
+    schemes: tuple[str, ...] = ("ccnvm",)
+    steps: int = DEFAULT_STEPS
+    window: int = 4
+    budget: int = 16
+    seed: int = 7
+    shards: int = DEFAULT_SHARDS
+    data_capacity: int = 1 << 16
+    #: Emit partially-applied batch states (protocol-violating; used to
+    #: demonstrate the oracle catches ordering bugs).
+    torn_batches: bool = False
+    #: Nested crash-during-recovery schedules per recovery site (1..2).
+    nested_depth: int = 2
+
+
+def record_trace(scheme_name: str, cfg: ExploreConfig):
+    """Deterministically rebuild the persist trace for one scheme."""
+    from repro.core.schemes import create_scheme
+    from repro.crashsim.workload import record_workload
+
+    scheme = create_scheme(
+        scheme_name, data_capacity=cfg.data_capacity, seed=cfg.seed
+    )
+    return scheme, record_workload(scheme, cfg.steps, cfg.seed)
+
+
+def _cell_config(spec) -> ExploreConfig:
+    p = spec.params
+    return ExploreConfig(
+        schemes=(spec.scheme,),
+        steps=p["steps"],
+        window=p.get("window", 4),
+        budget=p.get("budget", 16),
+        seed=spec.seed,
+        shards=p.get("shards", 1),
+        data_capacity=p["data_capacity"],
+        torn_batches=p.get("torn", False),
+    )
+
+
+def _violation_entry(state, verdict, reproducer=None) -> dict:
+    entry = {
+        "state": state.describe(),
+        "k": state.k,
+        "dropped": list(state.dropped),
+        "torn": state.torn,
+        "verdict": verdict.to_dict(),
+    }
+    if reproducer is not None:
+        entry["reproducer"] = reproducer.to_dict()
+    return entry
+
+
+def run_enumerate_cell(spec) -> dict:
+    """Execute one ``enumerate`` shard; returns a JSON-able payload."""
+    from repro.crashsim.enumerate import CrashEnumerator, applied_ops, build_state
+    from repro.crashsim.minimize import from_state, minimize
+    from repro.crashsim.oracle import RecoveryOracle
+
+    cfg = _cell_config(spec)
+    shard = spec.params["shard"]
+    shards = spec.params["shards"]
+    _, trace = record_trace(spec.scheme, cfg)
+    enumerator = CrashEnumerator(
+        trace,
+        window=cfg.window,
+        budget=cfg.budget,
+        seed=cfg.seed,
+        torn_batches=cfg.torn_batches,
+    )
+    oracle = RecoveryOracle(
+        spec.scheme, data_capacity=cfg.data_capacity, seed=cfg.seed
+    )
+    hashes: set[str] = set()
+    outcomes: Counter[str] = Counter()
+    violations: list[dict] = []
+    evaluated = 0
+    minimized = 0
+    for state in enumerator.states(points=lambda k: k % shards == shard):
+        evaluated += 1
+        hashes.add(state.image_hash())
+        verdict = oracle.evaluate(state)
+        outcomes[verdict.outcome] += 1
+        if verdict.ok:
+            continue
+        reproducer = None
+        if minimized < MAX_MINIMIZE:
+            minimized += 1
+            ops = applied_ops(trace, state)
+            minimal = minimize(trace, ops, oracle, verdict.signature())
+            final = oracle.evaluate(build_state(trace, minimal))
+            reproducer = from_state(
+                trace,
+                minimal,
+                final,
+                description=(
+                    f"{spec.scheme} crash state {state.describe()} minimized "
+                    f"from {len(ops)} to {len(minimal)} persist micro-ops"
+                ),
+                data_capacity=cfg.data_capacity,
+            )
+        violations.append(_violation_entry(state, verdict, reproducer))
+    return {
+        "mode": "enumerate",
+        "scheme": spec.scheme,
+        "shard": shard,
+        "shards": shards,
+        "trace_units": len(trace.units),
+        "trace_ops": trace.op_count,
+        "evaluated": evaluated,
+        "states": sorted(hashes),
+        "outcomes": dict(sorted(outcomes.items())),
+        "violations": violations,
+    }
+
+
+def _nested_schedule(site: str, depth: int) -> list[tuple[str, int]]:
+    """Depth-1 crashes once at *site*; depth-2 adds a second crash at
+    the next recovery site (cyclic), landing inside the *restarted* run."""
+    sites = sorted(RECOVERY_SITES)
+    schedule = [(site, 1)]
+    if depth >= 2:
+        schedule.append((sites[(sites.index(site) + 1) % len(sites)], 1))
+    return schedule
+
+
+def run_nested_cell(spec) -> dict:
+    """Execute one nested crash-during-recovery schedule."""
+    from repro.crashsim.enumerate import applied_ops, build_state
+    from repro.crashsim.oracle import RecoveryOracle
+
+    cfg = _cell_config(spec)
+    site = spec.params["site"]
+    depth = spec.params["depth"]
+    _, trace = record_trace(spec.scheme, cfg)
+    state = build_state(trace, applied_ops(trace, (len(trace.units), (), None)))
+    oracle = RecoveryOracle(
+        spec.scheme, data_capacity=cfg.data_capacity, seed=cfg.seed
+    )
+    schedule = _nested_schedule(site, depth)
+    verdict = oracle.evaluate(state, schedule)
+    return {
+        "mode": "nested",
+        "scheme": spec.scheme,
+        "site": site,
+        "depth": depth,
+        "schedule": [[s, h] for s, h in schedule],
+        "verdict": verdict.to_dict(),
+    }
+
+
+def execute_cell(spec) -> dict:
+    """Worker entry point for ``crash``-kind specs (see ``runs.pool``)."""
+    mode = spec.params.get("mode")
+    if mode == "enumerate":
+        return run_enumerate_cell(spec)
+    if mode == "nested":
+        return run_nested_cell(spec)
+    raise ValueError(f"unknown crash cell mode {mode!r}")
+
+
+def explore_specs(cfg: ExploreConfig) -> list:
+    """The cell decomposition of one exploration, as run specs."""
+    from repro.runs import RunSpec
+
+    base = {
+        "steps": cfg.steps,
+        "window": cfg.window,
+        "budget": cfg.budget,
+        "data_capacity": cfg.data_capacity,
+    }
+    specs = []
+    for scheme in cfg.schemes:
+        for shard in range(cfg.shards):
+            params = dict(
+                base, mode="enumerate", shard=shard, shards=cfg.shards
+            )
+            if cfg.torn_batches:
+                params["torn"] = True
+            specs.append(
+                RunSpec(kind="crash", scheme=scheme, seed=cfg.seed, params=params)
+            )
+        for site in sorted(RECOVERY_SITES):
+            for depth in range(1, cfg.nested_depth + 1):
+                specs.append(
+                    RunSpec(
+                        kind="crash",
+                        scheme=scheme,
+                        seed=cfg.seed,
+                        params=dict(base, mode="nested", site=site, depth=depth),
+                    )
+                )
+    return specs
+
+
+def run_explore(
+    cfg: ExploreConfig | None = None,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_root=None,
+    timeout: float | None = None,
+    progress=None,
+):
+    """Run one exploration; returns ``(summary, RunReport)``.
+
+    The summary dict is pure content (no timings, no cache counters):
+    the same exploration summarizes byte-identically whether it ran
+    serially, pooled, or entirely from cache.  Orchestration accounting
+    lives in the returned :class:`~repro.runs.orchestrate.RunReport`.
+    """
+    from repro.runs import orchestrate
+
+    cfg = cfg or ExploreConfig()
+    specs = explore_specs(cfg)
+    report = orchestrate(
+        "crash-explore",
+        specs,
+        jobs=jobs,
+        use_cache=cache,
+        cache_root=cache_root,
+        timeout=timeout,
+        progress=progress,
+    )
+    report.raise_on_failure()
+
+    schemes: dict[str, dict] = {}
+    for spec in specs:
+        payload = report.payload(spec)
+        entry = schemes.setdefault(
+            spec.scheme,
+            {
+                "distinct_states": set(),
+                "evaluated": 0,
+                "trace_units": 0,
+                "outcomes": Counter(),
+                "violations": [],
+                "nested": {},
+            },
+        )
+        if payload["mode"] == "enumerate":
+            entry["distinct_states"].update(payload["states"])
+            entry["evaluated"] += payload["evaluated"]
+            entry["trace_units"] = payload["trace_units"]
+            entry["outcomes"].update(payload["outcomes"])
+            entry["violations"].extend(payload["violations"])
+        else:
+            entry["nested"].setdefault(payload["site"], []).append(
+                {
+                    "depth": payload["depth"],
+                    "schedule": payload["schedule"],
+                    "outcome": payload["verdict"]["outcome"],
+                    "fired_sites": payload["verdict"]["fired_sites"],
+                    "problems": payload["verdict"]["problems"],
+                }
+            )
+
+    summary = {"config": _config_dict(cfg), "schemes": {}}
+    total_violations = 0
+    for scheme in sorted(schemes):
+        entry = schemes[scheme]
+        violations = sorted(entry["violations"], key=lambda v: (v["k"], v["state"]))
+        total_violations += len(violations)
+        nested = {
+            site: sorted(runs, key=lambda r: r["depth"])
+            for site, runs in sorted(entry["nested"].items())
+        }
+        summary["schemes"][scheme] = {
+            "trace_units": entry["trace_units"],
+            "states_evaluated": entry["evaluated"],
+            "distinct_states": len(entry["distinct_states"]),
+            "outcomes": dict(sorted(entry["outcomes"].items())),
+            "violations": violations,
+            "nested": nested,
+            "nested_ok": all(
+                not r["problems"] for runs in nested.values() for r in runs
+            ),
+        }
+    summary["total_violations"] = total_violations
+    return summary, report
+
+
+def _config_dict(cfg: ExploreConfig) -> dict:
+    return {
+        "schemes": sorted(cfg.schemes),
+        "steps": cfg.steps,
+        "window": cfg.window,
+        "budget": cfg.budget,
+        "seed": cfg.seed,
+        "shards": cfg.shards,
+        "data_capacity": cfg.data_capacity,
+        "torn_batches": cfg.torn_batches,
+        "nested_depth": cfg.nested_depth,
+    }

@@ -1,0 +1,237 @@
+"""The invariant oracle: recovery must hold its contract on every state.
+
+For each crash state the oracle rewinds one long-lived scheme instance
+(crash → restore NVM image → restore TCB registers), runs the design's
+own :class:`~repro.core.recovery.RecoveryManager`, classifies the
+outcome with the fault campaign's taxonomy, and checks the scheme-aware
+invariants:
+
+* the outcome lies in the design's *allowed* set — cc-NVM variants must
+  come back ``RECOVERED`` from every reachable state (the paper's
+  claim); SC / Osiris Plus may honestly ``FALSE_ALARM`` (their
+  freshness check cannot tell a crash window from a replay); w/o CC may
+  ``DEGRADED`` (no staleness bound) — anything else is a violation;
+* both TCB roots agree and the rebuilt tree matches them;
+* ``recovery_pending`` is cleared — recovery is restartable, never
+  stuck;
+* retry totals stay within N × blocks;
+* **exact data contents**: the enumerator knows precisely which
+  annotated write-backs survived, so every hot block must read back the
+  plaintext the surviving stream implies — byte for byte, with
+  ``IntegrityError`` accepted only for blocks recovery itself reported
+  unrecoverable;
+* the machine stays usable (a fresh write-back on an untouched page
+  round-trips).
+
+With a *schedule* of (site, hit) pairs the oracle also drives nested
+crashes: recovery is crashed at each scheduled point via
+:meth:`~repro.faults.injector.FaultInjector.arm_schedule` and restarted,
+exercising the persistent ``recovery_pending`` resume path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schemes import create_scheme
+from repro.crashsim.enumerate import CrashState
+from repro.crashsim.workload import PROBE_ADDR, payload
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import PowerFailure
+from repro.metadata.metacache import IntegrityError
+
+#: What each design's documented contract permits on a pure crash.
+ALLOWED_OUTCOMES: dict[str, frozenset[str]] = {
+    "ccnvm": frozenset({"RECOVERED"}),
+    "ccnvm_no_ds": frozenset({"RECOVERED"}),
+    "ccnvm_locate": frozenset({"RECOVERED"}),
+    "sc": frozenset({"RECOVERED", "FALSE_ALARM"}),
+    "osiris_plus": frozenset({"RECOVERED", "FALSE_ALARM"}),
+    "no_cc": frozenset({"RECOVERED", "DEGRADED"}),
+}
+
+
+def classify(report) -> str:
+    """The campaign's outcome taxonomy (see ``repro.faults.campaign``)."""
+    if any(f.kind == "tree_tampering" for f in report.findings):
+        return "FAILED"
+    if report.unrecoverable_blocks:
+        return "DEGRADED"
+    if report.potential_replay_detected:
+        return "FALSE_ALARM"
+    return "RECOVERED" if report.success else "FAILED"
+
+
+@dataclass
+class Verdict:
+    """One oracle evaluation: outcome, problems, recovery accounting."""
+
+    outcome: str
+    allowed: tuple[str, ...]
+    #: ``category: detail`` strings; empty means the state passed.
+    problems: list[str] = field(default_factory=list)
+    fired_sites: tuple[str, ...] = ()
+    total_retries: int = 0
+    unrecoverable: int = 0
+    notes: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def signature(self) -> frozenset[str]:
+        """The failure's stable identity: the set of problem categories.
+
+        A minimized reproducer must preserve (at least) this set.
+        """
+        return frozenset(p.split(":", 1)[0] for p in self.problems)
+
+    def to_dict(self) -> dict:
+        return {
+            "outcome": self.outcome,
+            "allowed": sorted(self.allowed),
+            "problems": list(self.problems),
+            "fired_sites": list(self.fired_sites),
+            "total_retries": self.total_retries,
+            "unrecoverable": self.unrecoverable,
+            "notes": list(self.notes),
+        }
+
+
+class RecoveryOracle:
+    """Evaluates crash states against one scheme's recovery contract.
+
+    One scheme instance is built per oracle and rewound per state
+    (``crash()`` + image/register restore) — construction dominates the
+    cost of a single recovery by an order of magnitude.
+    """
+
+    def __init__(self, scheme_name: str, data_capacity: int, seed: int) -> None:
+        if scheme_name not in ALLOWED_OUTCOMES:
+            raise ValueError(f"no recovery contract known for {scheme_name!r}")
+        self.scheme_name = scheme_name
+        self.seed = seed
+        self.scheme = create_scheme(scheme_name, data_capacity=data_capacity, seed=seed)
+        self.injector = FaultInjector()
+        self.injector.attach(self.scheme)
+        self._now = 10_000_000
+
+    # -- one state -------------------------------------------------------------
+
+    def evaluate(self, state: CrashState, schedule=None) -> Verdict:
+        """Rewind to *state*, run recovery (crashing it per *schedule*),
+        and judge the result."""
+        scheme = self.scheme
+        self.injector.disarm()
+        scheme.crash()
+        scheme.nvm.restore(state.lines)
+        scheme.tcb.restore_registers(state.registers)
+
+        fired: list[str] = []
+        schedule = list(schedule or ())
+        if schedule:
+            self.injector.arm_schedule(schedule)
+        report = None
+        for _ in range(len(schedule) + 2):
+            try:
+                report = scheme.recover()
+                break
+            except PowerFailure as failure:
+                fired.append(failure.site)
+                scheme.crash()
+        allowed = ALLOWED_OUTCOMES[self.scheme_name]
+        if report is None:
+            return Verdict(
+                "FAILED",
+                tuple(sorted(allowed)),
+                [f"nested: recovery never completed under schedule {schedule}"],
+                tuple(fired),
+            )
+
+        problems: list[str] = []
+        if schedule and len(fired) != len(schedule):
+            problems.append(
+                f"nested: only {len(fired)}/{len(schedule)} scheduled "
+                f"crashes fired (sites hit: {fired})"
+            )
+
+        outcome = classify(report)
+        if outcome not in allowed:
+            problems.append(
+                f"outcome: {outcome} not allowed for {self.scheme_name} "
+                f"(allowed: {sorted(allowed)})"
+            )
+        self._structural_checks(report, problems)
+        self._data_checks(state, report, problems)
+        self._probe_check(problems)
+        if problems and outcome in allowed:
+            outcome = "FAILED"
+        return Verdict(
+            outcome,
+            tuple(sorted(allowed)),
+            problems,
+            tuple(fired),
+            total_retries=report.total_retries,
+            unrecoverable=len(report.unrecoverable_blocks),
+            notes=tuple(report.notes),
+        )
+
+    # -- invariant layers ----------------------------------------------------------
+
+    def _structural_checks(self, report, problems: list[str]) -> None:
+        scheme = self.scheme
+        if scheme.tcb.root_old != scheme.tcb.root_new:
+            problems.append("roots: TCB roots disagree after recovery")
+        if not scheme.merkle.verify_consistent(scheme.tcb.root_old):
+            problems.append("tree: rebuilt tree does not match the TCB root")
+        if scheme.tcb.recovery_pending:
+            problems.append("restart: recovery_pending still set after recovery")
+        limit = scheme.config.epoch.update_limit
+        blocks = max(1, len(scheme.nvm.touched_lines()))
+        if report.total_retries > limit * blocks:
+            problems.append(
+                f"retries: total {report.total_retries} exceeds "
+                f"N x lines = {limit * blocks}"
+            )
+
+    def _data_checks(self, state: CrashState, report, problems: list[str]) -> None:
+        scheme = self.scheme
+        unrecoverable = set(report.unrecoverable_blocks)
+        now = self._advance()
+        for addr in sorted(state.expected):
+            want = state.expected[addr]
+            try:
+                got, _ = scheme.read(now, addr)
+            except IntegrityError:
+                if addr not in unrecoverable:
+                    problems.append(
+                        f"data: block {addr:#x} unreadable but not reported "
+                        "unrecoverable"
+                    )
+                continue
+            if addr in unrecoverable:
+                problems.append(
+                    f"data: unrecoverable block {addr:#x} read back cleanly"
+                )
+            elif got != want:
+                problems.append(
+                    f"data: block {addr:#x} read back a value the surviving "
+                    "write stream never implied"
+                )
+
+    def _probe_check(self, problems: list[str]) -> None:
+        scheme = self.scheme
+        now = self._advance()
+        probe = payload(self.seed, 1_000_000)
+        try:
+            scheme.writeback(now, PROBE_ADDR, probe)
+            got, _ = scheme.read(self._advance(), PROBE_ADDR)
+        except Exception as exc:  # any crash here is itself the finding
+            problems.append(f"probe: post-recovery write-back raised {exc!r}")
+            return
+        if got != probe:
+            problems.append("probe: post-recovery write-back did not round-trip")
+
+    def _advance(self) -> int:
+        self._now += 1_000_000
+        return self._now

@@ -1,0 +1,58 @@
+"""The recording workload: a deterministic hot-set write stream.
+
+Mirrors the fault campaign's hot-set shape (8 blocks on 2 pages, enough
+round-robin pressure to cross the update-times limit N and trigger every
+drain path) but runs under an attached
+:class:`~repro.crashsim.trace.PersistTraceRecorder`, annotating each
+write-back with its intended plaintext so the oracle can later derive
+the exact expected contents for *any* crash state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crashsim.trace import PersistTraceRecorder
+
+PAGES = (0x2000, 0x3000)
+BLOCKS_PER_PAGE = 4
+#: Fresh page the oracle's post-recovery probe write-back targets.
+PROBE_ADDR = 0x7000
+
+
+def payload(seed: int, step: int) -> bytes:
+    """The deterministic 64 B plaintext for one workload step."""
+    return hashlib.blake2b(
+        f"crashsim:{seed}:{step}".encode(), digest_size=64
+    ).digest()
+
+
+def hot_addrs() -> list[int]:
+    return [
+        page + block * 64 for page in PAGES for block in range(BLOCKS_PER_PAGE)
+    ]
+
+
+def record_workload(scheme, steps: int, seed: int):
+    """Run the hot-set stream under a recorder; returns the trace.
+
+    The recorder attaches *before* the warm-up round, so every line the
+    workload ever wrote is annotated and the trace's initial image is
+    the genesis state — there is no pre-history the oracle cannot see.
+    """
+    recorder = PersistTraceRecorder(scheme, seed=seed)
+    recorder.attach()
+    addrs = hot_addrs()
+    now = 0
+    for i, addr in enumerate(addrs):
+        data = payload(seed, -1 - i)
+        scheme.writeback(now, addr, data)
+        recorder.annotate(addr, data)
+        now += 500
+    for i in range(steps):
+        addr = addrs[i % len(addrs)]
+        data = payload(seed, i)
+        scheme.writeback(now, addr, data)
+        recorder.annotate(addr, data)
+        now += 500
+    return recorder.detach()

@@ -90,6 +90,12 @@ SITES: tuple[FaultSite, ...] = (
         _ALL,
     ),
     FaultSite(
+        "writeback.after_stoploss",
+        "scheme",
+        "Osiris Plus's Nth-update counter persist committed (ordered)",
+        ("osiris_plus",),
+    ),
+    FaultSite(
         "daq.after_reserve",
         "drainer",
         "metadata path reserved in the volatile dirty address queue",

@@ -73,6 +73,9 @@ class MemoryController:
         self._media_backoff = self._stats.counter(
             "media_backoff_cycles", "cycles spent backing off between retries"
         )
+        self._media_backoff_capped = self._stats.counter(
+            "media_backoff_capped", "retries whose backoff hit the hard ceiling"
+        )
 
     @property
     def stats(self) -> StatGroup:
@@ -97,6 +100,7 @@ class MemoryController:
         """
         limit = self.config.controller.read_retry_limit
         backoff = self.config.controller.read_retry_backoff_cycles
+        cap = self.config.controller.read_retry_backoff_cap_cycles
         attempt = 0
         while True:
             try:
@@ -109,9 +113,12 @@ class MemoryController:
                     raise PermanentMediaError(
                         addr, self.nvm.layout.region_of(addr), attempt
                     ) from None
+                if backoff >= cap:
+                    backoff = cap
+                    self._media_backoff_capped.inc()
                 self._media_backoff.inc(backoff)
                 self._read_free_at += backoff
-                backoff *= 2
+                backoff = min(backoff * 2, cap)
                 continue
             if attempt:
                 self._media_absorbed.inc()

@@ -55,6 +55,11 @@ class WritePendingQueue:
         #: called with a dotted site name at every instrumented
         #: micro-step of the atomic draining protocol.
         self.fault_hook = None
+        #: Optional persist-trace callback (see :mod:`repro.crashsim`):
+        #: called with ``(kind, addr, data)`` after every persist
+        #: micro-op so a recorder can rebuild the exact order in which
+        #: lines became durable under ADR.
+        self.trace_hook = None
         self._stats = stats if stats is not None else StatGroup("wpq")
         self._normal_writes = self._stats.counter("normal_writes")
         self._batched_writes = self._stats.counter("batched_writes")
@@ -70,6 +75,27 @@ class WritePendingQueue:
     def _fault(self, site: str) -> None:
         if self.fault_hook is not None:
             self.fault_hook(site)
+
+    def _trace(self, kind: str, addr: int | None = None, data: bytes | None = None) -> None:
+        if self.trace_hook is not None:
+            self.trace_hook(kind, addr, data)
+
+    # -- combined-group markers ---------------------------------------------------
+
+    def begin_combined(self) -> None:
+        """Mark the start of one controller write transaction.
+
+        A *combined group* is a set of WPQ writes that travel to the
+        controller as one transaction (e.g. a data line plus its HMAC
+        sub-line plus the Nwb bump) and therefore either all reach the
+        WPQ before a power failure or none do.  The markers are no-ops
+        for the device; they only scope the persist trace.
+        """
+        self._trace("begin_combined")
+
+    def end_combined(self) -> None:
+        """Mark the end of the current combined write transaction."""
+        self._trace("end_combined")
 
     @property
     def in_atomic_batch(self) -> bool:
@@ -112,6 +138,7 @@ class WritePendingQueue:
         self._check_batch_conflict(addr)
         self._normal_writes.inc()
         self.nvm.write_line(addr, data)
+        self._trace("write", addr)
 
     def write_partial(self, addr: int, offset: int, data: bytes) -> None:
         """Accept a normal sub-line write (e.g. a 128-bit data HMAC)."""
@@ -124,6 +151,7 @@ class WritePendingQueue:
         self._check_batch_conflict(addr)
         self._normal_writes.inc()
         self.nvm.write_partial(addr, offset, data)
+        self._trace("write_partial", addr)
 
     # -- atomic draining protocol -------------------------------------------------
 
@@ -132,6 +160,7 @@ class WritePendingQueue:
         if self._batch is not None:
             raise AtomicBatchError("atomic batches cannot nest")
         self._batch = []
+        self._trace("begin_atomic")
         self._fault("wpq.after_start")
 
     def write_atomic(self, addr: int, data: bytes) -> None:
@@ -146,6 +175,7 @@ class WritePendingQueue:
                 f"atomic batch exceeds the {self.entries}-entry WPQ"
             )
         self._batch.append((addr, bytes(data)))
+        self._trace("write_atomic", addr, bytes(data))
         self._fault("wpq.mid_batch")
 
     def commit_atomic(self) -> int:
@@ -160,6 +190,7 @@ class WritePendingQueue:
         batch, self._batch = self._batch, None
         for addr, data in batch:
             self.nvm.write_line(addr, data)
+        self._trace("commit_atomic")
         self._fault("wpq.after_end")
         self._batched_writes.inc(len(batch))
         self._batches_committed.inc()
@@ -174,7 +205,9 @@ class WritePendingQueue:
         prescribes.  Returns the number of dropped entries.
         """
         if self._batch is None:
+            self._trace("power_failure")
             return 0
         dropped, self._batch = self._batch, None
         self._batches_dropped.inc()
+        self._trace("power_failure")
         return len(dropped)

@@ -91,11 +91,18 @@ def _execute_discover(spec: RunSpec):
     return _discover(spec.scheme, _campaign_config(spec))
 
 
+def _execute_crash(spec: RunSpec):
+    from repro.crashsim.explore import execute_cell
+
+    return execute_cell(spec)
+
+
 _EXECUTORS = {
     "simulation": _execute_simulation,
     "injection": _execute_injection,
     "media": _execute_media,
     "discover": _execute_discover,
+    "crash": _execute_crash,
 }
 
 

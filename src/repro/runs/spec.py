@@ -35,7 +35,7 @@ from repro.common.config import (
 )
 
 #: Run kinds the worker pool knows how to execute (see ``runs.pool``).
-RUN_KINDS = ("simulation", "injection", "media", "discover")
+RUN_KINDS = ("simulation", "injection", "media", "discover", "crash")
 
 
 def canonical_json(obj: Any) -> str:
@@ -145,6 +145,10 @@ class RunSpec:
             parts.append(f"{self.workload}@{self.length}#{self.seed}")
         if "site" in self.params:
             parts.append(str(self.params["site"]))
+        if self.params.get("mode") == "enumerate":
+            parts.append(f"shard{self.params['shard']}/{self.params['shards']}")
+        if "depth" in self.params:
+            parts.append(f"depth{self.params['depth']}")
         return "/".join(parts)
 
     def system_config(self) -> SystemConfig:

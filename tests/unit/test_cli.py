@@ -39,6 +39,38 @@ class TestParser:
         args = build_parser().parse_args(["faults", "run", "--smoke"])
         assert args.smoke and args.schemes is None and args.export is None
 
+    def test_faults_sites_flags(self):
+        args = build_parser().parse_args(
+            ["faults", "sites", "--json", "--scheme", "osiris_plus"]
+        )
+        assert args.json and args.scheme == "osiris_plus"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "sites", "--scheme", "magic"])
+
+    def test_crash_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crash"])
+
+    def test_crash_explore_defaults(self):
+        args = build_parser().parse_args(["crash", "explore"])
+        assert args.schemes == ["ccnvm"]
+        assert args.steps is None and args.shards is None
+        assert args.window == 4 and args.budget == 16 and args.seed == 7
+        assert not args.torn_batches and args.nested_depth == 2
+        assert args.jobs == 1 and not args.no_cache
+
+    def test_crash_explore_validates_scheme(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crash", "explore", "--schemes", "magic"])
+
+    def test_crash_replay_and_minimize_take_a_file(self):
+        args = build_parser().parse_args(["crash", "replay", "r.json"])
+        assert args.file == "r.json"
+        args = build_parser().parse_args(
+            ["crash", "minimize", "r.json", "--out", "m.json"]
+        )
+        assert args.file == "r.json" and args.out == "m.json"
+
     def test_lint_defaults(self):
         args = build_parser().parse_args(["lint"])
         assert args.root is None and args.baseline is None
@@ -77,6 +109,52 @@ class TestCommands:
         assert "writeback.after_data" in out
         assert "recovery.before_root_set" in out
         assert "reached by: ccnvm_no_ds, ccnvm" in out
+
+    def test_faults_sites_scheme_filter(self, capsys):
+        assert main(["faults", "sites", "--scheme", "no_cc"]) == 0
+        out = capsys.readouterr().out
+        assert "reachable by no_cc" in out
+        assert "writeback.before_data" in out
+        assert "daq.after_reserve" not in out
+
+    def test_faults_sites_json(self, capsys):
+        import json
+
+        assert main(["faults", "sites", "--json", "--scheme", "osiris_plus"]) == 0
+        catalogue = json.loads(capsys.readouterr().out)
+        names = [s["name"] for s in catalogue]
+        assert "writeback.after_stoploss" in names
+        assert "wpq.mid_batch" not in names
+        assert all(
+            set(s) == {"name", "component", "description", "schemes"}
+            for s in catalogue
+        )
+
+    def test_crash_replay_fixture(self, capsys):
+        fixture = __import__("pathlib").Path(
+            __file__
+        ).parent.parent / "fixtures" / "crash_reproducer_torn_batch.json"
+        assert main(["crash", "replay", str(fixture)]) == 0
+        out = capsys.readouterr().out
+        assert "failure reproduced" in out
+        assert "outcome FAILED" in out
+
+    def test_crash_explore_smoke(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)  # the cache lands here
+        assert main([
+            "crash", "explore", "--schemes", "ccnvm",
+            "--steps", "24", "--quiet",
+            "--export", "crash.json", "--reproducers", "repros",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "0 violation(s)" in out and "nested ok" in out
+        import json
+
+        summary = json.loads((tmp_path / "crash.json").read_text())
+        assert summary["total_violations"] == 0
+        assert "ccnvm" in summary["schemes"]
+        # No violations -> the reproducer directory exists but is empty.
+        assert list((tmp_path / "repros").iterdir()) == []
 
     def test_faults_run_restricted(self, capsys, tmp_path):
         assert main([

@@ -1,0 +1,102 @@
+"""Unit tests for failing-trace minimization and the reproducer format."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import reproducer_from_json, reproducer_to_json
+from repro.core.schemes import create_scheme
+from repro.crashsim import (
+    CrashEnumerator,
+    RecoveryOracle,
+    Reproducer,
+    applied_ops,
+    build_state,
+    from_state,
+    minimize,
+    record_workload,
+    replay,
+)
+
+from tests.conftest import TINY_CAPACITY
+
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def failing():
+    """A torn-batch ccnvm violation: trace, failing state, its verdict."""
+    scheme = create_scheme("ccnvm", data_capacity=TINY_CAPACITY, seed=SEED)
+    trace = record_workload(scheme, 24, seed=SEED)
+    oracle = RecoveryOracle("ccnvm", data_capacity=TINY_CAPACITY, seed=SEED)
+    for state in CrashEnumerator(trace, torn_batches=True).states():
+        if state.torn is None:
+            continue
+        verdict = oracle.evaluate(state)
+        if not verdict.ok:
+            return trace, oracle, state, verdict
+    raise AssertionError("torn-batch enumeration produced no violation")
+
+
+class TestMinimize:
+    def test_minimizes_to_a_handful_of_ops(self, failing):
+        trace, oracle, state, verdict = failing
+        ops = applied_ops(trace, state)
+        minimal = minimize(trace, ops, oracle, verdict.signature())
+        assert len(minimal) <= 10
+        assert len(minimal) < len(ops)
+        final = oracle.evaluate(build_state(trace, minimal))
+        assert verdict.signature() <= final.signature()
+
+    def test_result_is_one_minimal(self, failing):
+        trace, oracle, state, verdict = failing
+        minimal = minimize(
+            trace, applied_ops(trace, state), oracle, verdict.signature()
+        )
+        for i in range(len(minimal)):
+            poked = minimal[:i] + minimal[i + 1:]
+            got = oracle.evaluate(build_state(trace, poked))
+            assert not verdict.signature() <= got.signature(), (
+                f"dropping op {i} still fails: not 1-minimal"
+            )
+
+    def test_passing_input_rejected(self, failing):
+        trace, oracle, state, _ = failing
+        full = applied_ops(trace, (len(trace.units), (), None))
+        with pytest.raises(ValueError, match="does not reproduce"):
+            minimize(trace, full, oracle, frozenset({"outcome"}))
+
+
+class TestReproducerArtifact:
+    def artifact(self, failing):
+        trace, oracle, state, verdict = failing
+        minimal = minimize(
+            trace, applied_ops(trace, state), oracle, verdict.signature()
+        )
+        return from_state(
+            trace, minimal, verdict,
+            description="unit-test torn batch",
+            data_capacity=TINY_CAPACITY,
+        )
+
+    def test_json_round_trip(self, failing):
+        artifact = self.artifact(failing)
+        clone = reproducer_from_json(reproducer_to_json(artifact))
+        assert clone == artifact
+
+    def test_format_tag_enforced(self, failing):
+        document = json.loads(reproducer_to_json(self.artifact(failing)))
+        document["format"] = "something-else"
+        with pytest.raises(ValueError, match="not a"):
+            Reproducer.from_dict(document)
+
+    def test_replay_reproduces_on_a_fresh_oracle(self, failing):
+        _, _, _, verdict = failing
+        artifact = self.artifact(failing)
+        replayed = replay(artifact)
+        assert verdict.signature() <= replayed.signature()
+
+    def test_annotations_trimmed_to_surviving_ops(self, failing):
+        artifact = self.artifact(failing)
+        seqs = {op.seq for op in artifact.ops}
+        assert set(artifact.annotations) <= seqs

@@ -1,0 +1,96 @@
+"""Unit tests for the recovery-invariant oracle."""
+
+import pytest
+
+from repro.core.schemes import create_scheme
+from repro.crashsim import (
+    ALLOWED_OUTCOMES,
+    CrashEnumerator,
+    RecoveryOracle,
+    record_workload,
+)
+from repro.crashsim.workload import payload
+from repro.faults.plan import RECOVERY_SITES
+
+from tests.conftest import TINY_CAPACITY
+
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def trace():
+    scheme = create_scheme("ccnvm", data_capacity=TINY_CAPACITY, seed=SEED)
+    return record_workload(scheme, 24, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    return RecoveryOracle("ccnvm", data_capacity=TINY_CAPACITY, seed=SEED)
+
+
+def state_at(trace, k):
+    return next(CrashEnumerator(trace).states(points=lambda p: p == k))
+
+
+class TestContractTable:
+    def test_every_scheme_has_a_contract(self):
+        from repro.core.schemes import SCHEME_LABELS
+
+        assert set(ALLOWED_OUTCOMES) == set(SCHEME_LABELS)
+        for scheme in ("ccnvm", "ccnvm_no_ds", "ccnvm_locate"):
+            assert ALLOWED_OUTCOMES[scheme] == {"RECOVERED"}
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="no recovery contract"):
+            RecoveryOracle("magic", data_capacity=TINY_CAPACITY, seed=0)
+
+
+class TestVerdicts:
+    def test_clean_state_passes(self, trace, oracle):
+        verdict = oracle.evaluate(state_at(trace, len(trace.units)))
+        assert verdict.ok
+        assert verdict.outcome == "RECOVERED"
+        assert verdict.signature() == frozenset()
+
+    def test_oracle_instance_is_reusable(self, trace, oracle):
+        """One scheme instance, rewound per state — order must not matter."""
+        first = oracle.evaluate(state_at(trace, 5))
+        again = oracle.evaluate(state_at(trace, 5))
+        assert first.to_dict() == again.to_dict()
+
+    def test_wrong_expected_contents_flagged(self, trace, oracle):
+        state = state_at(trace, len(trace.units))
+        addr = sorted(state.expected)[0]
+        state.expected[addr] = payload(SEED, 999_999)
+        verdict = oracle.evaluate(state)
+        assert not verdict.ok
+        assert "data" in verdict.signature()
+        assert verdict.outcome == "FAILED"
+
+    def test_tampered_tree_flagged(self, trace, oracle):
+        """Flipping a durable line the roots cover must not pass."""
+        state = state_at(trace, len(trace.units))
+        addr = sorted(state.expected)[0]
+        line = bytearray(state.lines[addr])
+        line[0] ^= 0xFF
+        state.lines[addr] = bytes(line)
+        verdict = oracle.evaluate(state)
+        assert not verdict.ok
+
+
+class TestNestedSchedules:
+    @pytest.mark.parametrize("site", sorted(RECOVERY_SITES))
+    def test_single_nested_crash_fires_and_recovers(self, trace, oracle, site):
+        state = state_at(trace, len(trace.units))
+        verdict = oracle.evaluate(state, schedule=[(site, 1)])
+        assert verdict.fired_sites == (site,)
+        assert verdict.ok, verdict.problems
+
+    def test_depth_two_schedule_fires_in_sequence(self, trace, oracle):
+        state = state_at(trace, len(trace.units))
+        schedule = [("recovery.after_counters", 1), ("recovery.mid_rebuild", 1)]
+        verdict = oracle.evaluate(state, schedule=schedule)
+        assert verdict.fired_sites == (
+            "recovery.after_counters", "recovery.mid_rebuild",
+        )
+        assert verdict.ok, verdict.problems

@@ -54,8 +54,51 @@ class TestInjectorMechanics:
         assert injector.armed is None
         assert injector.fired == 1
 
+    def test_rearming_while_armed_rejected(self):
+        injector = FaultInjector()
+        injector.arm("wpq.mid_batch")
+        with pytest.raises(RuntimeError, match="already armed at 'wpq.mid_batch'"):
+            injector.arm("wpq.before_end")
+        # The original crash is untouched by the failed re-arm...
+        assert injector.armed == "wpq.mid_batch"
+        # ...and an explicit disarm makes re-arming legal again.
+        injector.disarm()
+        injector.arm("wpq.before_end")
+        assert injector.armed == "wpq.before_end"
+
+    def test_schedule_arms_next_site_after_each_fire(self):
+        injector = FaultInjector()
+        injector.arm_schedule([("wpq.mid_batch", 2), ("wpq.before_end", 1)])
+        injector("wpq.mid_batch")  # visit 1: below the hit threshold
+        with pytest.raises(PowerFailure):
+            injector("wpq.mid_batch")
+        # The schedule auto-armed the next pair with a fresh visit count.
+        assert injector.armed == "wpq.before_end"
+        with pytest.raises(PowerFailure):
+            injector("wpq.before_end")
+        assert injector.armed is None
+        assert injector.fired == 2
+
+    def test_schedule_validates_every_pair_up_front(self):
+        injector = FaultInjector()
+        with pytest.raises(ValueError, match="unknown fault site"):
+            injector.arm_schedule([("wpq.mid_batch", 1), ("bogus.site", 1)])
+        assert injector.armed is None
+        with pytest.raises(ValueError, match="empty schedule"):
+            injector.arm_schedule([])
+
+    def test_disarm_clears_pending_schedule(self):
+        injector = FaultInjector()
+        injector.arm_schedule([("wpq.mid_batch", 1), ("wpq.before_end", 1)])
+        injector.disarm()
+        injector("wpq.mid_batch")  # nothing armed: pure discovery counting
+        injector("wpq.before_end")
+        assert injector.fired == 0
+
     def test_registry_covers_every_scheme(self):
-        assert len(SITES) == len(ALL_SITE_NAMES) == 15
+        assert len(SITES) == len(ALL_SITE_NAMES) == 16
+        assert sites_for_scheme("osiris_plus").count("writeback.after_stoploss") == 1
+        assert "writeback.after_stoploss" not in sites_for_scheme("ccnvm")
         assert RECOVERY_SITES == {
             "recovery.after_counters",
             "recovery.mid_rebuild",

@@ -82,6 +82,43 @@ class TestControllerRetry:
         # Exponential backoff: first wait + doubled second wait.
         assert stats.counter("media_backoff_cycles").value == backoff * 3
 
+    def test_backoff_is_capped_at_the_hard_ceiling(self):
+        import dataclasses
+
+        from repro.common.config import SystemConfig
+
+        config = SystemConfig()
+        config = dataclasses.replace(
+            config,
+            controller=dataclasses.replace(
+                config.controller,
+                read_retry_limit=8,
+                read_retry_backoff_cycles=16,
+                read_retry_backoff_cap_cycles=64,
+            ),
+        )
+        scheme = create_scheme("ccnvm", config=config, data_capacity=TINY_CAPACITY)
+        scheme.writeback(0, 0x2000, payload(0))
+        model = MediaFaultModel()
+        scheme.nvm.set_media_model(model)
+        model.inject_transient(0x2000, count=5)
+        got, _ = scheme.read(10_000, 0x2000)
+        assert got == payload(0)
+        stats = scheme.controller.stats
+        # Backoffs: 16, 32, then pinned at the 64-cycle ceiling.
+        assert stats.counter("media_read_retries").value == 5
+        assert stats.counter("media_backoff_capped").value == 3
+        assert stats.counter("media_backoff_cycles").value == 16 + 32 + 64 * 3
+
+    def test_default_retry_budget_never_reaches_the_cap(self, scheme):
+        model = MediaFaultModel()
+        scheme.nvm.set_media_model(model)
+        model.inject_transient(0x2000, count=3)
+        got, _ = scheme.read(10_000, 0x2000)
+        assert got == payload(0)
+        # 16 -> 32 -> 64 stays under the 256-cycle default ceiling.
+        assert scheme.controller.stats.counter("media_backoff_capped").value == 0
+
     def test_permanent_fault_degrades_with_located_report(self, scheme):
         model = MediaFaultModel()
         scheme.nvm.set_media_model(model)
