@@ -42,10 +42,39 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
-class Distribution:
-    """Streaming min/max/mean/count aggregate of observed samples."""
+#: Fixed histogram geometry shared by every :class:`Distribution`: bucket 0
+#: holds values below 1, bucket ``i`` holds ``[2**(i-1), 2**i)``, and the
+#: last bucket absorbs everything from ``2**(HISTOGRAM_BUCKETS-2)`` up.
+#: 34 buckets cover cycle counts beyond 2**32 — more than any modeled run.
+HISTOGRAM_BUCKETS = 34
 
-    __slots__ = ("name", "desc", "count", "total", "min", "max")
+#: The percentiles every distribution reports.
+PERCENTILES = (50, 95, 99)
+
+
+def _bucket_index(value: float) -> int:
+    if value < 1:
+        return 0
+    return min(HISTOGRAM_BUCKETS - 1, 1 + int(value).bit_length() - 1)
+
+
+def _bucket_bounds(index: int) -> tuple[float, float]:
+    """``[lo, hi)`` value range of one histogram bucket."""
+    if index == 0:
+        return 0.0, 1.0
+    return float(1 << (index - 1)), float(1 << index)
+
+
+class Distribution:
+    """Streaming aggregate of observed samples.
+
+    Besides min/mean/max/count, a fixed-bucket (power-of-two) histogram
+    is maintained so approximate percentiles survive with O(1) memory:
+    :meth:`percentile` locates the bucket holding the requested rank and
+    interpolates linearly inside it, clamped to the observed [min, max].
+    """
+
+    __slots__ = ("name", "desc", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str, desc: str = "") -> None:
         self.name = name
@@ -60,11 +89,38 @@ class Distribution:
             self.min = value
         if value > self.max:
             self.max = value
+        self.buckets[_bucket_index(value)] += 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of all samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate *q*-th percentile (``0 < q <= 100``); 0.0 when empty.
+
+        Exact for the extremes (p0 = min, p100 = max); in between the
+        value is interpolated inside the histogram bucket containing the
+        requested rank, so the error is bounded by the bucket width.
+        """
+        if self.count == 0:
+            return 0.0
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lo, hi = _bucket_bounds(index)
+                fraction = (target - cumulative) / bucket_count
+                value = lo + fraction * (hi - lo)
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard ``{"p50": ..., "p95": ..., "p99": ...}`` summary."""
+        return {f"p{q}": self.percentile(q) for q in PERCENTILES}
 
     def reset(self) -> None:
         """Forget all samples."""
@@ -72,6 +128,20 @@ class Distribution:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets = [0] * HISTOGRAM_BUCKETS
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-able summary: ``n`` always, the aggregates when non-empty."""
+        if self.count == 0:
+            return {"n": 0}
+        summary = {
+            "n": self.count,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+        summary.update(self.percentiles())
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Distribution({self.name}: n={self.count}, mean={self.mean:.3f})"
@@ -129,14 +199,19 @@ class StatGroup:
         for child in self.children.values():
             yield from child.walk(f"{base}." if base else "")
 
-    def as_dict(self) -> dict[str, float]:
-        """Flatten to ``{dotted_path: value}`` (distributions report mean)."""
-        result: dict[str, float] = {}
+    def as_dict(self) -> dict[str, float | dict[str, float]]:
+        """Flatten to ``{dotted_path: value}``.
+
+        Counters flatten to their integer value; distributions export the
+        full ``{"n", "min", "max", "mean", "p50", "p95", "p99"}`` summary
+        (just ``{"n": 0}`` when empty) instead of collapsing to the mean.
+        """
+        result: dict[str, float | dict[str, float]] = {}
         for path, stat in self.walk():
             if isinstance(stat, Counter):
                 result[path] = stat.value
             else:
-                result[path] = stat.mean
+                result[path] = stat.as_dict()
         return result
 
     def report(self) -> str:
@@ -145,10 +220,14 @@ class StatGroup:
         for path, stat in sorted(self.walk()):
             if isinstance(stat, Counter):
                 lines.append(f"{path:<60} {stat.value}")
+            elif stat.count == 0:
+                lines.append(f"{path:<60} n=0")
             else:
                 lines.append(
                     f"{path:<60} n={stat.count} mean={stat.mean:.4f}"
-                    f" min={stat.min if stat.count else 0}"
-                    f" max={stat.max if stat.count else 0}"
+                    f" min={stat.min:g} max={stat.max:g}"
+                    f" p50={stat.percentile(50):g}"
+                    f" p95={stat.percentile(95):g}"
+                    f" p99={stat.percentile(99):g}"
                 )
         return "\n".join(lines)

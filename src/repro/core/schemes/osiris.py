@@ -86,7 +86,7 @@ class OsirisPlus(SecureNVMScheme):
         )
         report = RecoveryManager(
             self.nvm, self.tcb, self.merkle, policy, self.name,
-            fault_hook=self.fault_hook,
+            fault_hook=self.fault_hook, obs=self.obs,
         ).run()
         if report.potential_replay_detected:
             report.notes.append(

@@ -1,0 +1,97 @@
+"""Observability: cycle-stamped tracing, interval metrics, timelines.
+
+Zero-cost when disabled: components hold ``obs = None`` and guard every
+emission, so an uninstrumented run executes the exact same instruction
+stream as before this subsystem existed.  Enable it by building an
+:class:`ObsSession` and passing it to
+:func:`repro.sim.runner.run_simulation`::
+
+    from repro.obs import ObsSession
+    session = ObsSession(sample_every=1000)
+    result = run_simulation("ccnvm", trace, obs=session)
+    summary = session.timeline(result)
+    trace_json = session.chrome_trace()
+
+See DESIGN.md's "Observability" section for the event taxonomy and
+artifact formats.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import DEFAULT_CAPACITY, Event, EventBus, attach
+from repro.obs.sampler import IntervalSampler, Sample
+from repro.obs.timeline import TimelineSummary, analyze_events
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "Event",
+    "EventBus",
+    "IntervalSampler",
+    "ObsSession",
+    "Sample",
+    "TimelineSummary",
+    "analyze_events",
+    "attach",
+]
+
+
+class ObsSession:
+    """One run's worth of observability state: bus + optional sampler.
+
+    Built by the caller, attached by the runner: the sampler needs the
+    scheme's stat tree, which only exists once the system is built, so
+    :meth:`attach` is invoked from inside ``run_simulation``.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sample_every: int = 0) -> None:
+        self.bus = EventBus(capacity)
+        self.sample_every = sample_every
+        self.sampler: IntervalSampler | None = None
+        #: The attached :class:`~repro.sim.system.MemoryHierarchy` — kept
+        #: so callers can reach the live stat tree after the run (the
+        #: runner builds and discards the system internally).
+        self.system = None
+
+    def attach(self, system, cpu=None) -> None:
+        """Wire the bus (and sampler) into a built system and its CPU."""
+        self.system = system
+        attach(system, self.bus)
+        if self.sample_every:
+            self.sampler = IntervalSampler(system.scheme.stats, self.sample_every)
+        if cpu is not None:
+            cpu.obs = self.bus
+            cpu.sampler = self.sampler
+
+    def reset(self) -> None:
+        """Forget warm-up events/samples; rebase the sampler deltas."""
+        self.bus.clear()
+        if self.sampler is not None:
+            self.sampler.reset()
+
+    def finish(self, cycles: int) -> None:
+        """Take the final sample at the end of the measured region."""
+        if self.sampler is not None:
+            self.sampler.sample(cycles)
+
+    # -- artifact shortcuts ------------------------------------------------
+
+    def timeline(self, result=None) -> TimelineSummary:
+        """Fold the captured events into a per-phase timeline."""
+        return analyze_events(
+            self.bus.events(),
+            total_cycles=getattr(result, "cycles", 0),
+            total_nvm_writes=getattr(result, "nvm_writes", 0),
+            scheme=getattr(result, "scheme", ""),
+            workload=getattr(result, "workload", ""),
+            dropped=self.bus.dropped,
+        )
+
+    def chrome_trace(self, process_name: str = "repro") -> dict:
+        """Render the captured events as Chrome ``trace_event`` JSON."""
+        from repro.obs.export import events_to_trace
+
+        return events_to_trace(self.bus.events(), process_name=process_name)
+
+    def samples(self) -> list[Sample]:
+        """The sampler's recorded time-series (empty when not sampling)."""
+        return self.sampler.samples() if self.sampler is not None else []

@@ -1,0 +1,200 @@
+"""Cycle-stamped structured event bus.
+
+The bus is the spine of the observability subsystem: instrumented
+components (CPU, WPQ, drainer, meta-cache, recovery, ...) hold an
+optional reference to an :class:`EventBus` and emit *spans* (begin/end
+pairs bracketing a phase such as an epoch drain) and *instants*
+(point events such as one NVM line write).  Two properties are load
+bearing:
+
+**Zero cost when disabled.**  Components store ``self.obs = None`` and
+guard every emission with ``if self.obs is not None`` — the same
+pattern the fault (``fault_hook``) and crash-trace (``trace_hook``)
+seams already use.  With tracing off, no event objects are allocated,
+no strings are formatted, and the hot loops are untouched, which is
+what keeps the headline numbers byte-identical to an uninstrumented
+build.
+
+**Deterministic timestamps.**  Events are stamped with the simulated
+cycle clock, never the wall clock.  The CPU publishes its cycle count
+via :meth:`EventBus.set_now` once per trace record; components that run
+logically "inside" a cycle (recovery, which the model does not clock)
+advance a sub-cycle work counter through :meth:`EventBus.advance` so
+their events still order deterministically.  Timestamps are clamped to
+be monotonically non-decreasing, which the Perfetto ``trace_event``
+format requires.
+
+Events are plain tuples in a bounded ring buffer (``deque`` with
+``maxlen``), so a runaway emitter degrades to dropping the *oldest*
+events (the drop count is kept) instead of exhausting memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator, NamedTuple
+
+from repro.common.persistence import persistence
+
+#: Event kind markers, mirroring Chrome ``trace_event`` phases.
+BEGIN = "B"
+END = "E"
+INSTANT = "i"
+
+#: Default ring-buffer capacity (events). 1M tuples is ~100 MB worst
+#: case — far above any smoke workload, low enough to bound a runaway.
+DEFAULT_CAPACITY = 1_000_000
+
+
+class Event(NamedTuple):
+    """One trace event.
+
+    ``ts`` is the simulated cycle (monotonic per bus); ``kind`` is one
+    of :data:`BEGIN` / :data:`END` / :data:`INSTANT`; ``name`` is the
+    event taxonomy entry (``"epoch.drain"``, ``"nvm.write"``, ...);
+    ``cat`` groups names for trace viewers (``"epoch"``, ``"wpq"``,
+    ``"recovery"``, ...); ``args`` carries event-specific detail.
+    """
+
+    ts: int
+    kind: str
+    name: str
+    cat: str
+    args: dict[str, Any] | None
+
+
+@persistence(volatile=("now", "capacity", "dropped", "enabled", "_events"))
+class EventBus:
+    """Bounded, cycle-stamped event sink.
+
+    The bus itself is pure observer state: it never feeds back into the
+    model, and the whole object is declared volatile in the persistence
+    layer — a crash loses the trace, never correctness.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self.now = 0
+        self.dropped = 0
+        self.enabled = True
+        self._events: deque[Event] = deque(maxlen=capacity)
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def set_now(self, cycle: int) -> None:
+        """Advance the bus clock to the CPU's cycle count.
+
+        Clamped monotonic: a component that reports a stale local clock
+        cannot make time run backwards.
+        """
+        if cycle > self.now:
+            self.now = cycle
+
+    def advance(self, work_units: int = 1) -> None:
+        """Advance the clock by *work_units* pseudo-cycles.
+
+        Used by code the simulator does not clock (recovery), so its
+        events still get distinct, ordered timestamps.
+        """
+        self.now += work_units
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: str,
+        name: str,
+        cat: str,
+        args: dict[str, Any] | None = None,
+        ts: int | None = None,
+    ) -> None:
+        """Append one event, stamping it with the (clamped) bus clock."""
+        if not self.enabled:
+            return
+        stamp = self.now if ts is None else ts
+        if stamp > self.now:
+            self.now = stamp
+        elif stamp < self.now:
+            stamp = self.now
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(Event(stamp, kind, name, cat, args))
+
+    def begin(
+        self,
+        name: str,
+        cat: str,
+        args: dict[str, Any] | None = None,
+        ts: int | None = None,
+    ) -> None:
+        """Open a span. Spans nest LIFO per bus."""
+        self.emit(BEGIN, name, cat, args, ts)
+
+    def end(
+        self,
+        name: str,
+        cat: str,
+        args: dict[str, Any] | None = None,
+        ts: int | None = None,
+    ) -> None:
+        """Close the innermost open span with this *name*."""
+        self.emit(END, name, cat, args, ts)
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        args: dict[str, Any] | None = None,
+        ts: int | None = None,
+    ) -> None:
+        """Record a point event."""
+        self.emit(INSTANT, name, cat, args, ts)
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(self) -> list[Event]:
+        """Snapshot of the buffered events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Forget buffered events and the drop count (clock survives).
+
+        Used for the warm-up reset: the measured region starts with an
+        empty buffer and exact (zero-drop) accounting, but time keeps
+        running forward so later stamps stay monotonic.
+        """
+        self._events.clear()
+        self.dropped = 0
+
+
+def attach(system: Any, bus: EventBus | None) -> None:
+    """Wire *bus* into every instrumentation seam of a built system.
+
+    *system* is a :class:`repro.sim.system.MemoryHierarchy` (or any
+    object exposing ``scheme`` the same way).  Passing ``None`` detaches
+    tracing, restoring the zero-cost path.  The seams mirror the
+    ``fault_hook`` wiring: each component simply holds the reference.
+    """
+    scheme = getattr(system, "scheme", system)
+    scheme.obs = bus
+    scheme.wpq.obs = bus
+    scheme.controller.obs = bus
+    scheme.engine.obs = bus
+    scheme.meta.obs = bus
+    queue = getattr(scheme, "queue", None)  # the dirty address queue
+    if queue is not None:
+        queue.obs = bus
+    for cache in (getattr(system, "l1", None), getattr(system, "l2", None)):
+        if cache is not None:
+            cache.obs = bus
+    if scheme.meta.cache is not None:
+        scheme.meta.cache.obs = bus

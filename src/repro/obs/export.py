@@ -1,0 +1,204 @@
+"""Trace and time-series artifact writers.
+
+Two artifact families come out of the observability subsystem:
+
+* **Chrome/Perfetto traces** — the event stream rendered as
+  ``trace_event`` JSON (the ``{"traceEvents": [...]}`` container
+  format), loadable in ``ui.perfetto.dev`` or ``chrome://tracing``.
+  Span begin/end and instant events map 1:1 to phases ``B``/``E``/``i``;
+  timestamps are the simulated cycle count (exported as microseconds,
+  so one trace-viewer microsecond = one model cycle).
+* **Time-series CSV/JSON** — the interval sampler's delta rows, one
+  column per stat path.
+
+:func:`validate_trace` is the schema check CI runs against an exported
+trace: structural validity plus the LIFO span-nesting and monotonic-
+timestamp rules the viewers rely on.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any
+
+from repro.obs.events import BEGIN, END, INSTANT, Event
+from repro.obs.sampler import Sample
+
+#: Trace-event phases this exporter produces (a subset of the format).
+_VALID_PHASES = (BEGIN, END, INSTANT)
+
+
+def events_to_trace(
+    events: list[Event],
+    process_name: str = "repro",
+    thread_name: str = "sim",
+    pid: int = 0,
+    tid: int = 0,
+) -> dict[str, Any]:
+    """Render an event stream as a Chrome ``trace_event`` JSON object."""
+    trace_events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": process_name},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": thread_name},
+        },
+    ]
+    for event in events:
+        entry: dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": event.kind,
+            "ts": event.ts,
+            "pid": pid,
+            "tid": tid,
+        }
+        if event.kind == INSTANT:
+            entry["s"] = "t"  # thread-scoped instant
+        if event.args:
+            entry["args"] = event.args
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, trace: dict[str, Any]) -> None:
+    """Write a trace object produced by :func:`events_to_trace`."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+
+
+def validate_trace(trace: Any) -> list[str]:
+    """Schema-check a ``trace_event`` JSON object; returns problems.
+
+    An empty list means the trace is structurally valid: the container
+    shape is right, every event carries the mandatory fields, ``B``/``E``
+    events nest LIFO per ``(pid, tid)`` and timestamps never go
+    backwards per thread.
+    """
+    problems: list[str] = []
+    if not isinstance(trace, dict) or not isinstance(
+        trace.get("traceEvents"), list
+    ):
+        return ["not a trace_event JSON object: missing traceEvents list"]
+    stacks: dict[tuple, list[str]] = {}
+    last_ts: dict[tuple, float] = {}
+    for index, entry in enumerate(trace["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = entry.get("ph")
+        name = entry.get("name")
+        if not isinstance(name, str):
+            problems.append(f"{where}: missing name")
+            continue
+        if phase == "M":
+            continue  # metadata events carry no timestamp
+        if phase not in _VALID_PHASES:
+            problems.append(f"{where}: unexpected phase {phase!r}")
+            continue
+        ts = entry.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: missing numeric ts")
+            continue
+        key = (entry.get("pid"), entry.get("tid"))
+        if ts < last_ts.get(key, ts):
+            problems.append(
+                f"{where}: timestamp {ts} goes backwards on thread {key}"
+            )
+        last_ts[key] = ts
+        stack = stacks.setdefault(key, [])
+        if phase == BEGIN:
+            stack.append(name)
+        elif phase == END:
+            if not stack:
+                problems.append(f"{where}: E {name!r} with no open span")
+            elif stack[-1] != name:
+                problems.append(
+                    f"{where}: E {name!r} does not match open span "
+                    f"{stack[-1]!r} (spans must nest LIFO)"
+                )
+                stack.pop()
+            else:
+                stack.pop()
+    for key, stack in stacks.items():
+        for name in stack:
+            problems.append(f"thread {key}: span {name!r} never ended")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Time-series writers
+# ---------------------------------------------------------------------------
+
+def series_to_rows(samples: list[Sample]) -> tuple[list[str], list[list]]:
+    """Tabulate samples: ``(header, rows)`` with one column per path."""
+    paths: set[str] = set()
+    for sample in samples:
+        paths.update(sample.deltas)
+    columns = sorted(paths)
+    header = ["cycle"] + columns
+    rows = [
+        [sample.cycle] + [sample.deltas.get(path, 0) for path in columns]
+        for sample in samples
+    ]
+    return header, rows
+
+
+def series_to_csv(samples: list[Sample]) -> str:
+    """Render samples as CSV text (header + one row per snapshot)."""
+    header, rows = series_to_rows(samples)
+    out = io.StringIO()
+    out.write(",".join(header) + "\n")
+    for row in rows:
+        out.write(",".join(str(v) for v in row) + "\n")
+    return out.getvalue()
+
+
+def series_to_json(samples: list[Sample], every: int = 0) -> dict[str, Any]:
+    """Render samples as a JSON-able time-series object."""
+    header, rows = series_to_rows(samples)
+    return {
+        "kind": "obs_series",
+        "every": every,
+        "columns": header,
+        "rows": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Timeline / headline artifacts
+# ---------------------------------------------------------------------------
+
+def obs_headline_to_json(
+    summaries: list[dict[str, Any]], workload: str, length: int
+) -> dict[str, Any]:
+    """The ``BENCH_obs_headline.json`` breakdown artifact.
+
+    *summaries* are :meth:`TimelineSummary.as_dict` objects, one per
+    scheme, ordered as run.
+    """
+    return {
+        "bench": "obs_headline",
+        "workload": workload,
+        "length": length,
+        "schemes": [s["scheme"] for s in summaries],
+        "timelines": summaries,
+    }
+
+
+def write_json(path: str, payload: dict[str, Any]) -> None:
+    """Write a JSON artifact with stable key order and a trailing newline."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

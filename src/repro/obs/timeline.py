@@ -1,0 +1,275 @@
+"""Epoch/drain/recovery timeline analysis.
+
+Folds a cycle-stamped event stream (:mod:`repro.obs.events`) into a
+per-phase attribution of the run's cycles and NVM writes — the "where
+did the 3.36x go" table.  Four named phases cover the model:
+
+* ``epoch_body`` — ordinary execution inside an open epoch (the default
+  when no span is active: write-backs, fills, metadata walks);
+* ``drain`` — inside an epoch commit (cc-NVM's atomic draining
+  protocol) or inside a WPQ atomic batch (SC's per-write-back flush,
+  which is its degenerate one-write-back "epoch");
+* ``spread`` — the deferred-spreading recompute at drain time (a nested
+  sub-phase of the drain; its cycles are reported separately, not
+  double-counted into ``drain``);
+* ``recovery`` — post-crash recovery phases.
+
+Attribution is interval-based: the cycles between two consecutive
+events belong to the phase that was active (innermost open span) during
+that interval; ``nvm.write`` instants are charged to the phase active
+at their timestamp.  Because the phase stack bottoms out at
+``epoch_body``, every cycle and every write is attributed to *some*
+named phase — ring-buffer drops are the only loss, and they are
+reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.events import BEGIN, END, INSTANT, Event
+
+#: The named phases, in reporting order.
+PHASES = ("epoch_body", "drain", "spread", "recovery")
+
+#: Span name → phase it activates.  Unlisted spans (and ``recovery.*``,
+#: matched by prefix) inherit the handling in :func:`_phase_of_span`.
+_SPAN_PHASES = {
+    "epoch.drain": "drain",
+    "epoch.spread": "spread",
+    "wpq.batch": "drain",
+}
+
+
+def _phase_of_span(name: str, current: str) -> str:
+    phase = _SPAN_PHASES.get(name)
+    if phase is not None:
+        return phase
+    if name.startswith("recovery."):
+        return "recovery"
+    return current  # unknown spans keep the enclosing phase
+
+
+@dataclass
+class PhaseTotals:
+    """Cycles and NVM writes attributed to one phase."""
+
+    cycles: int = 0
+    nvm_writes: int = 0
+    writes_by_region: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles": self.cycles,
+            "nvm_writes": self.nvm_writes,
+            "writes_by_region": dict(sorted(self.writes_by_region.items())),
+        }
+
+
+@dataclass
+class TimelineSummary:
+    """Per-phase attribution of one run."""
+
+    scheme: str = ""
+    workload: str = ""
+    phases: dict[str, PhaseTotals] = field(default_factory=dict)
+    #: Run totals the coverage ratios are computed against (from the
+    #: simulation result, not from the event stream).
+    total_cycles: int = 0
+    total_nvm_writes: int = 0
+    epochs: int = 0
+    drains_by_trigger: dict[str, int] = field(default_factory=dict)
+    recoveries: int = 0
+    #: Events lost to the bounded ring buffer (0 = exact attribution).
+    dropped_events: int = 0
+    #: END events with no matching open span (ring-buffer truncation).
+    unmatched_ends: int = 0
+
+    @property
+    def attributed_cycles(self) -> int:
+        return sum(p.cycles for p in self.phases.values())
+
+    @property
+    def attributed_writes(self) -> int:
+        return sum(p.nvm_writes for p in self.phases.values())
+
+    @property
+    def cycle_coverage(self) -> float:
+        """Fraction of the run's cycles attributed to named phases."""
+        if not self.total_cycles:
+            return 1.0
+        return min(1.0, self.attributed_cycles / self.total_cycles)
+
+    @property
+    def write_coverage(self) -> float:
+        """Fraction of the run's NVM writes attributed to named phases."""
+        if not self.total_nvm_writes:
+            return 1.0
+        return min(1.0, self.attributed_writes / self.total_nvm_writes)
+
+    @staticmethod
+    def from_dict(data: dict) -> "TimelineSummary":
+        """Rebuild a summary from :meth:`as_dict` output (cache payloads).
+
+        The derived fields (attributed totals, coverage ratios) are
+        recomputed from the phase totals rather than trusted from the
+        payload, so they stay consistent by construction.
+        """
+        summary = TimelineSummary(
+            scheme=data.get("scheme", ""),
+            workload=data.get("workload", ""),
+            total_cycles=data.get("total_cycles", 0),
+            total_nvm_writes=data.get("total_nvm_writes", 0),
+            epochs=data.get("epochs", 0),
+            drains_by_trigger=dict(data.get("drains_by_trigger", {})),
+            recoveries=data.get("recoveries", 0),
+            dropped_events=data.get("dropped_events", 0),
+            unmatched_ends=data.get("unmatched_ends", 0),
+        )
+        summary.phases = {
+            name: PhaseTotals(
+                cycles=totals.get("cycles", 0),
+                nvm_writes=totals.get("nvm_writes", 0),
+                writes_by_region=dict(totals.get("writes_by_region", {})),
+            )
+            for name, totals in data.get("phases", {}).items()
+        }
+        return summary
+
+    def as_dict(self) -> dict:
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "phases": {
+                name: self.phases[name].as_dict()
+                for name in PHASES
+                if name in self.phases
+            },
+            "total_cycles": self.total_cycles,
+            "total_nvm_writes": self.total_nvm_writes,
+            "attributed_cycles": self.attributed_cycles,
+            "attributed_writes": self.attributed_writes,
+            "cycle_coverage": round(self.cycle_coverage, 6),
+            "write_coverage": round(self.write_coverage, 6),
+            "epochs": self.epochs,
+            "drains_by_trigger": dict(sorted(self.drains_by_trigger.items())),
+            "recoveries": self.recoveries,
+            "dropped_events": self.dropped_events,
+            "unmatched_ends": self.unmatched_ends,
+        }
+
+
+def analyze_events(
+    events: list[Event],
+    total_cycles: int = 0,
+    total_nvm_writes: int = 0,
+    scheme: str = "",
+    workload: str = "",
+    dropped: int = 0,
+) -> TimelineSummary:
+    """Fold an event stream into a :class:`TimelineSummary`.
+
+    *total_cycles* / *total_nvm_writes* are the simulation result's
+    totals; the cycles after the last event (and before the first) are
+    attributed to the phase active at that point, so the attribution is
+    complete whenever no events were dropped.
+    """
+    summary = TimelineSummary(
+        scheme=scheme,
+        workload=workload,
+        total_cycles=total_cycles,
+        total_nvm_writes=total_nvm_writes,
+        dropped_events=dropped,
+    )
+    phases = {name: PhaseTotals() for name in PHASES}
+
+    # Stack of (span_name, phase); the active phase is the top's, or
+    # epoch_body when empty.
+    stack: list[tuple[str, str]] = []
+    last_ts = 0
+
+    def active() -> str:
+        return stack[-1][1] if stack else "epoch_body"
+
+    def charge(until: int) -> None:
+        nonlocal last_ts
+        if until > last_ts:
+            phases[active()].cycles += until - last_ts
+            last_ts = until
+
+    for event in events:
+        charge(event.ts)
+        if event.kind == BEGIN:
+            stack.append((event.name, _phase_of_span(event.name, active())))
+        elif event.kind == END:
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i][0] == event.name:
+                    del stack[i:]
+                    break
+            else:
+                summary.unmatched_ends += 1
+        elif event.kind == INSTANT and event.name == "nvm.write":
+            totals = phases[active()]
+            totals.nvm_writes += 1
+            region = (event.args or {}).get("region", "unknown")
+            totals.writes_by_region[region] = (
+                totals.writes_by_region.get(region, 0) + 1
+            )
+        if event.kind == INSTANT and event.name == "epoch.commit":
+            args = event.args or {}
+            if args.get("lines", 0):
+                summary.epochs += 1
+                trigger = args.get("trigger", "unknown")
+                summary.drains_by_trigger[trigger] = (
+                    summary.drains_by_trigger.get(trigger, 0) + 1
+                )
+        if event.kind == BEGIN and event.name == "recovery.run":
+            summary.recoveries += 1
+
+    # The tail of the run (after the final event) belongs to whatever
+    # phase is still active — normally epoch_body.
+    charge(max(total_cycles, last_ts))
+
+    summary.phases = {
+        name: totals for name, totals in phases.items()
+        if totals.cycles or totals.nvm_writes
+    }
+    if not summary.phases:
+        summary.phases = {"epoch_body": phases["epoch_body"]}
+    return summary
+
+
+def render_table(summaries: list[TimelineSummary]) -> str:
+    """Human-readable per-scheme phase table."""
+    lines = []
+    header = (
+        f"{'scheme':<14} {'phase':<11} {'cycles':>12} {'%cyc':>7} "
+        f"{'nvm_writes':>11} {'%wr':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for summary in summaries:
+        # Phase rows are shares of the *attributed* stream (they sum to
+        # 100%); the stream can extend past the measured region's cycle
+        # count because the end-of-run flush is traced too.  The
+        # [coverage] row compares against the run totals instead.
+        total_c = summary.attributed_cycles or 1
+        total_w = summary.attributed_writes or 1
+        for name in PHASES:
+            totals = summary.phases.get(name)
+            if totals is None:
+                continue
+            lines.append(
+                f"{summary.scheme:<14} {name:<11} {totals.cycles:>12} "
+                f"{100 * totals.cycles / total_c:>6.1f}% "
+                f"{totals.nvm_writes:>11} "
+                f"{100 * totals.nvm_writes / total_w:>6.1f}%"
+            )
+        lines.append(
+            f"{summary.scheme:<14} {'[coverage]':<11} "
+            f"{summary.attributed_cycles:>12} "
+            f"{100 * summary.cycle_coverage:>6.1f}% "
+            f"{summary.attributed_writes:>11} "
+            f"{100 * summary.write_coverage:>6.1f}%"
+        )
+    return "\n".join(lines)

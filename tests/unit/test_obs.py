@@ -1,0 +1,370 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import result_to_dict
+from repro.obs import ObsSession
+from repro.obs.events import BEGIN, END, INSTANT, EventBus
+from repro.obs.export import (
+    events_to_trace,
+    obs_headline_to_json,
+    series_to_csv,
+    series_to_json,
+    validate_trace,
+)
+from repro.obs.sampler import IntervalSampler
+from repro.obs.timeline import TimelineSummary, analyze_events, render_table
+from repro.common.stats import StatGroup
+from repro.sim.runner import run_simulation
+from repro.workloads.spec import spec_trace
+
+
+def tiny_trace(length=400, seed=1):
+    return spec_trace("gcc", length, seed)
+
+
+class TestEventBus:
+    def test_emit_and_read_back(self):
+        bus = EventBus()
+        bus.set_now(10)
+        bus.begin("epoch.drain", "epoch", {"queued": 3})
+        bus.set_now(25)
+        bus.end("epoch.drain", "epoch")
+        bus.instant("nvm.write", "wpq", {"region": "data"})
+        kinds = [e.kind for e in bus.events()]
+        assert kinds == [BEGIN, END, INSTANT]
+        assert bus.events()[0].ts == 10
+        assert bus.events()[1].ts == 25
+
+    def test_timestamps_never_go_backwards(self):
+        bus = EventBus()
+        bus.begin("a", "x", ts=100)
+        bus.end("a", "x", ts=40)  # stale explicit ts gets clamped
+        assert [e.ts for e in bus.events()] == [100, 100]
+
+    def test_ring_buffer_drops_oldest_and_counts(self):
+        bus = EventBus(capacity=4)
+        for i in range(10):
+            bus.instant(f"e{i}", "t", ts=i)
+        assert len(bus) == 4
+        assert bus.dropped == 6
+        assert [e.name for e in bus.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_advance_moves_pseudo_time(self):
+        bus = EventBus()
+        bus.set_now(50)
+        bus.advance(3)
+        bus.instant("r", "recovery")
+        assert bus.events()[0].ts == 53
+
+    def test_clear_resets_events_but_not_clock(self):
+        bus = EventBus()
+        bus.instant("warmup", "t", ts=99)
+        bus.clear()
+        assert len(bus) == 0 and bus.dropped == 0
+        bus.instant("measured", "t")
+        assert bus.events()[0].ts == 99  # clock survives the reset
+
+
+class TestZeroCostDisabled:
+    def test_disabled_run_is_byte_identical_to_instrumented_components(self):
+        """obs=None and obs=session produce identical simulation results."""
+        trace = tiny_trace()
+        plain = result_to_dict(
+            run_simulation("ccnvm", trace)
+        )
+        observed = result_to_dict(
+            run_simulation(
+                "ccnvm", trace,
+                obs=ObsSession(sample_every=100),
+            )
+        )
+        assert plain == observed
+
+    def test_disabled_components_hold_no_bus(self):
+        trace = tiny_trace(length=50)
+        session = ObsSession()
+        run_simulation("ccnvm", trace)
+        # A fresh observed run wires every seam; the unobserved run above
+        # never allocated a bus anywhere (obs stays None on every seam).
+        run_simulation(
+            "ccnvm", trace, obs=session
+        )
+        system = session.system
+        for component in (
+            system.scheme, system.l1, system.l2,
+            system.scheme.wpq, system.scheme.engine, system.scheme.meta.cache,
+        ):
+            assert component.obs is session.bus
+
+    def test_session_without_sampling_has_no_sampler(self):
+        session = ObsSession()
+        run_simulation(
+            "ccnvm", tiny_trace(length=50), obs=session,
+        )
+        assert session.sampler is None and session.samples() == []
+
+
+class TestSampler:
+    def make_stats(self):
+        g = StatGroup("root")
+        g.counter("hits", "hit count")
+        g.distribution("lat", "latency")
+        return g
+
+    def test_records_deltas_not_totals(self):
+        g = self.make_stats()
+        s = IntervalSampler(g, every=10)
+        g.counter("hits").inc(5)
+        assert s.maybe_sample(10)
+        g.counter("hits").inc(2)
+        assert s.maybe_sample(20)
+        deltas = [row.deltas["root.hits"] for row in s.samples()]
+        assert deltas == [5, 2]
+
+    def test_interval_gating_and_collapse(self):
+        g = self.make_stats()
+        s = IntervalSampler(g, every=10)
+        assert not s.maybe_sample(5)
+        assert s.maybe_sample(37)  # 3 elapsed intervals -> one sample
+        assert not s.maybe_sample(39)
+        assert s.maybe_sample(40)
+        assert [row.cycle for row in s.samples()] == [37, 40]
+
+    def test_distributions_sampled_by_count(self):
+        g = self.make_stats()
+        s = IntervalSampler(g, every=10)
+        g.distribution("lat").sample(100.0)
+        g.distribution("lat").sample(3.0)
+        s.sample(10)
+        assert s.samples()[0].deltas["root.lat"] == 2
+
+    def test_reset_rebases_deltas(self):
+        g = self.make_stats()
+        s = IntervalSampler(g, every=10)
+        g.counter("hits").inc(50)  # warm-up traffic
+        s.reset()
+        g.counter("hits").inc(3)
+        s.sample(10)
+        assert s.samples()[0].deltas["root.hits"] == 3
+
+    def test_max_samples_bounds_memory(self):
+        g = self.make_stats()
+        s = IntervalSampler(g, every=1, max_samples=3)
+        for cycle in range(1, 8):
+            s.sample(cycle)
+        assert len(s.samples()) == 3 and s.dropped == 4
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            IntervalSampler(self.make_stats(), every=0)
+
+
+class TestTimeline:
+    def test_interval_attribution(self):
+        bus = EventBus()
+        bus.begin("epoch.drain", "epoch", ts=100)
+        bus.instant("nvm.write", "wpq", {"region": "data"}, ts=110)
+        bus.end("epoch.drain", "epoch", ts=130)
+        summary = analyze_events(bus.events(), total_cycles=200,
+                                 total_nvm_writes=1)
+        assert summary.phases["epoch_body"].cycles == 100 + 70
+        assert summary.phases["drain"].cycles == 30
+        assert summary.phases["drain"].nvm_writes == 1
+        assert summary.phases["drain"].writes_by_region == {"data": 1}
+        assert summary.cycle_coverage == 1.0
+        assert summary.write_coverage == 1.0
+
+    def test_nested_spread_inside_drain(self):
+        bus = EventBus()
+        bus.begin("epoch.drain", "epoch", ts=0)
+        bus.begin("epoch.spread", "epoch", ts=10)
+        bus.end("epoch.spread", "epoch", ts=25)
+        bus.end("epoch.drain", "epoch", ts=40)
+        summary = analyze_events(bus.events(), total_cycles=40)
+        assert summary.phases["drain"].cycles == 10 + 15
+        assert summary.phases["spread"].cycles == 15
+
+    def test_recovery_prefix_and_counts(self):
+        bus = EventBus()
+        bus.begin("recovery.run", "recovery", ts=5)
+        bus.begin("recovery.check_tree", "recovery", ts=6)
+        bus.end("recovery.check_tree", "recovery", ts=9)
+        bus.end("recovery.run", "recovery", ts=10)
+        summary = analyze_events(bus.events(), total_cycles=10)
+        assert summary.recoveries == 1
+        assert summary.phases["recovery"].cycles == 5
+
+    def test_unmatched_end_is_counted_not_fatal(self):
+        bus = EventBus()
+        bus.end("epoch.drain", "epoch", ts=10)
+        summary = analyze_events(bus.events(), total_cycles=10)
+        assert summary.unmatched_ends == 1
+        assert summary.phases["epoch_body"].cycles == 10
+
+    def test_epoch_commit_instants_counted_by_trigger(self):
+        bus = EventBus()
+        bus.instant("epoch.commit", "epoch",
+                    {"trigger": "queue_full", "lines": 4}, ts=1)
+        bus.instant("epoch.commit", "epoch",
+                    {"trigger": "queue_full", "lines": 0}, ts=2)  # empty: skipped
+        summary = analyze_events(bus.events(), total_cycles=2)
+        assert summary.epochs == 1
+        assert summary.drains_by_trigger == {"queue_full": 1}
+
+    def test_as_dict_from_dict_round_trip(self):
+        bus = EventBus()
+        bus.begin("epoch.drain", "epoch", ts=2)
+        bus.instant("nvm.write", "wpq", {"region": "counter"}, ts=3)
+        bus.end("epoch.drain", "epoch", ts=7)
+        summary = analyze_events(bus.events(), total_cycles=10,
+                                 total_nvm_writes=1, scheme="ccnvm",
+                                 workload="gcc")
+        rebuilt = TimelineSummary.from_dict(summary.as_dict())
+        assert rebuilt.as_dict() == summary.as_dict()
+
+    def test_render_table_mentions_every_phase(self):
+        session = ObsSession()
+        result = run_simulation(
+            "ccnvm", tiny_trace(),
+            obs=session,
+        )
+        text = render_table([session.timeline(result)])
+        assert "drain" in text and "[coverage]" in text
+
+
+class TestFullRunAttribution:
+    @pytest.mark.parametrize(
+        "scheme",
+        ["no_cc", "sc", "osiris_plus", "ccnvm_no_ds", "ccnvm", "ccnvm_locate"],
+    )
+    def test_coverage_at_least_95_percent(self, scheme):
+        session = ObsSession()
+        result = run_simulation(
+            scheme, tiny_trace(),
+            obs=session,
+        )
+        summary = session.timeline(result)
+        assert summary.dropped_events == 0
+        assert summary.cycle_coverage >= 0.95
+        assert summary.write_coverage >= 0.95
+
+    def test_ccnvm_sees_drain_and_spread_phases(self):
+        session = ObsSession()
+        result = run_simulation(
+            "ccnvm", tiny_trace(),
+            obs=session,
+        )
+        summary = session.timeline(result)
+        assert summary.phases["drain"].nvm_writes > 0
+        assert summary.phases["spread"].cycles > 0
+        assert summary.epochs > 0
+
+
+class TestExport:
+    def run_observed(self):
+        session = ObsSession(sample_every=200)
+        run_simulation(
+            "ccnvm", tiny_trace(),
+            obs=session,
+        )
+        return session
+
+    def test_chrome_trace_schema_is_valid(self):
+        session = self.run_observed()
+        trace = session.chrome_trace()
+        assert validate_trace(trace) == []
+        assert trace["traceEvents"][0]["ph"] == "M"
+        # the container survives a JSON round trip
+        assert validate_trace(json.loads(json.dumps(trace))) == []
+
+    def test_validate_trace_catches_bad_nesting(self):
+        trace = events_to_trace([])
+        trace["traceEvents"] += [
+            {"name": "a", "cat": "t", "ph": "B", "ts": 1, "pid": 0, "tid": 0},
+            {"name": "b", "cat": "t", "ph": "E", "ts": 2, "pid": 0, "tid": 0},
+        ]
+        problems = validate_trace(trace)
+        assert any("nest LIFO" in p for p in problems)
+
+    def test_validate_trace_catches_backwards_time_and_unclosed(self):
+        trace = events_to_trace([])
+        trace["traceEvents"] += [
+            {"name": "a", "cat": "t", "ph": "B", "ts": 5, "pid": 0, "tid": 0},
+            {"name": "x", "cat": "t", "ph": "i", "ts": 3, "pid": 0, "tid": 0,
+             "s": "t"},
+        ]
+        problems = validate_trace(trace)
+        assert any("backwards" in p for p in problems)
+        assert any("never ended" in p for p in problems)
+
+    def test_validate_trace_rejects_non_trace_objects(self):
+        assert validate_trace([]) != []
+        assert validate_trace({"events": []}) != []
+
+    def test_series_writers_agree_on_columns(self):
+        session = self.run_observed()
+        samples = session.samples()
+        assert samples
+        csv_text = series_to_csv(samples)
+        doc = series_to_json(samples, every=200)
+        header = csv_text.splitlines()[0].split(",")
+        assert header == doc["columns"]
+        assert header[0] == "cycle"
+        assert len(csv_text.splitlines()) == len(samples) + 1
+        assert len(doc["rows"]) == len(samples)
+
+    def test_headline_artifact_shape(self):
+        session = self.run_observed()
+        summary = session.timeline(None)
+        doc = obs_headline_to_json([summary.as_dict()], "gcc", 400)
+        assert doc["bench"] == "obs_headline"
+        assert doc["schemes"] == [""]
+        assert doc["timelines"][0]["phases"]
+
+
+class TestOrchestratedObs:
+    def specs(self, schemes, length=300):
+        from repro.runs.spec import simulation_spec
+
+        return [
+            simulation_spec(s, "gcc", length, 1, obs={"timeline": True})
+            for s in schemes
+        ]
+
+    def test_obs_payload_rides_separately_from_result(self):
+        from repro.analysis.export import result_from_dict
+        from repro.runs.pool import _execute_simulation
+
+        payload = self.specs(["ccnvm"])[0]
+        payload = _execute_simulation(payload)
+        obs_payload = payload.pop("obs")
+        result = result_from_dict(payload)  # no unknown-field error
+        summary = TimelineSummary.from_dict(obs_payload["timeline"])
+        assert summary.scheme == result.scheme == "ccnvm"
+        assert summary.cycle_coverage >= 0.95
+
+    def test_obs_spec_hashes_differently_from_plain(self):
+        from repro.runs.spec import simulation_spec
+
+        plain = simulation_spec("ccnvm", "gcc", 300, 1)
+        observed = self.specs(["ccnvm"])[0]
+        assert plain.spec_hash() != observed.spec_hash()
+
+    @pytest.mark.slow
+    def test_serial_and_parallel_timelines_byte_identical(self):
+        from repro.runs import run_specs
+        from repro.runs.spec import canonical_json
+
+        schemes = ["sc", "ccnvm", "ccnvm_locate"]
+
+        def payloads(jobs):
+            report = run_specs(self.specs(schemes), jobs=jobs)
+            report.raise_on_failure()
+            return canonical_json(
+                [report.payload(s) for s in self.specs(schemes)]
+            )
+
+        assert payloads(1) == payloads(2)
