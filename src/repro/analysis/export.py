@@ -172,6 +172,18 @@ def crash_summary_to_json(summary: dict) -> str:
     return json.dumps(summary, indent=2, sort_keys=True)
 
 
+def campaign_summary_to_json(summary: dict) -> str:
+    """JSON document for a crash campaign (``run_campaign`` summary).
+
+    Carries the scheme x workload grid with per-cell class tables
+    (fingerprint, representative, witness count, verdict), shard
+    failures, and the campaign totals.  Pure content like the
+    exploration summary: serial, pooled and warm-cache runs of the same
+    campaign serialize byte-identically.
+    """
+    return json.dumps(summary, indent=2, sort_keys=True)
+
+
 def reproducer_to_json(repro) -> str:
     """JSON artifact for one minimized crash reproducer (``Reproducer``)."""
     return json.dumps(repro.to_dict(), indent=2, sort_keys=True)

@@ -11,7 +11,10 @@ Commands:
   media faults) judged by the differential recovery oracle;
 * ``faults sites`` — the catalogue of instrumented crash sites;
 * ``crash explore`` — enumerate every crash state ADR semantics permit
-  for a recorded persist trace and judge each one's recovery; ``crash
+  for a recorded persist trace and judge each one's recovery
+  (``--classes`` routes the states through the equivalence-class
+  reducer); ``crash campaign`` — the standing scheme x workload grid of
+  reduced explorations with exhaustive-coverage gates; ``crash
   replay`` / ``crash minimize`` — re-run and delta-debug the replayable
   reproducer artifacts the explorer emits for violations;
 * ``lint`` — the persistence-domain static analyzer (persist-order
@@ -401,22 +404,38 @@ def cmd_crash_explore(args: argparse.Namespace) -> int:
         shards=DEFAULT_SHARDS if args.shards is None else args.shards,
         torn_batches=args.torn_batches,
         nested_depth=args.nested_depth,
+        profile=args.profile,
+        reduce=args.classes,
+        spot=args.spot,
     )
+    mode = "classes (reduced, exhaustive)" if cfg.reduce else f"budget {cfg.budget}"
     print(f"crash exploration: {', '.join(cfg.schemes)} @ {cfg.steps} steps, "
-          f"window {cfg.window}, budget {cfg.budget}, seed {cfg.seed} "
+          f"profile {cfg.profile}, window {cfg.window}, {mode}, seed {cfg.seed} "
           f"(jobs={args.jobs}, cache={'off' if args.no_cache else 'on'})")
     summary, report = run_explore(cfg, **_run_kwargs(args))
     print()
     ok = True
     for scheme, entry in summary["schemes"].items():
         violations = entry["violations"]
-        status = "ok" if not violations and entry["nested_ok"] else "VIOLATED"
+        mismatches = entry.get("class_mismatches", [])
+        status = (
+            "ok"
+            if not violations and entry["nested_ok"] and not mismatches
+            else "VIOLATED"
+        )
         ok = ok and status == "ok"
         outcomes = ", ".join(f"{k}={v}" for k, v in entry["outcomes"].items())
         print(f"  {scheme:14s} {entry['states_evaluated']:5d} states "
               f"({entry['distinct_states']} distinct)  [{outcomes}]  "
               f"{len(violations)} violation(s), "
               f"nested {'ok' if entry['nested_ok'] else 'FAILED'}  -> {status}")
+        if cfg.reduce:
+            ratio = entry["reduction_ratio"]
+            print(f"  {'':14s} {entry['classes']} classes cover "
+                  f"{entry['states_covered']} states with "
+                  f"{entry['oracle_calls']} oracle calls "
+                  f"({ratio if ratio is not None else '-'}x reduction), "
+                  f"{len(mismatches)} spot mismatch(es)")
         for v in violations[:5]:
             print(f"      {v['state']}: {'; '.join(v['verdict']['problems'][:2])}")
     print(f"\norchestration: {report.summary()}")
@@ -443,6 +462,104 @@ def cmd_crash_explore(args: argparse.Namespace) -> int:
                 written += 1
         print(f"wrote {written} minimized reproducer(s) to {args.reproducers}/")
     return 0 if ok else 1
+
+
+def cmd_crash_campaign(args: argparse.Namespace) -> int:
+    from repro.crashsim import CrashCampaignConfig, run_campaign
+    from repro.crashsim.explore import DEFAULT_SHARDS, DEFAULT_STEPS
+
+    cfg = CrashCampaignConfig(
+        schemes=tuple(args.schemes or ()),
+        profiles=tuple(args.profiles or ()),
+        steps=DEFAULT_STEPS if args.steps is None else args.steps,
+        window=args.window,
+        seed=args.seed,
+        shards=DEFAULT_SHARDS if args.shards is None else args.shards,
+        spot=args.spot,
+    )
+    schemes = cfg.resolved_schemes()
+    profiles = cfg.resolved_profiles()
+    print(f"crash campaign: {len(schemes)} scheme(s) x {len(profiles)} "
+          f"profile(s) @ {cfg.steps} steps, window {cfg.window}, seed "
+          f"{cfg.seed}, spot {cfg.spot} "
+          f"(jobs={args.jobs}, cache={'off' if args.no_cache else 'on'})")
+    summary, report = run_campaign(cfg, **_run_kwargs(args))
+    print()
+    for scheme in sorted(summary["grid"]):
+        for profile, cell in sorted(summary["grid"][scheme].items()):
+            bad = (cell["violations"] or cell["class_mismatches"]
+                   or cell["sampling_fallbacks"])
+            ratio = cell["reduction_ratio"]
+            print(f"  {scheme:14s} {profile:12s} "
+                  f"{cell['states_covered']:6d} states covered by "
+                  f"{cell['oracle_calls']:5d} oracle calls "
+                  f"({cell['classes']:4d} classes, "
+                  f"{ratio if ratio is not None else '-':>7}x)  "
+                  f"{len(cell['violations'])} violation(s)"
+                  f"{'  <- CHECK' if bad else ''}")
+            for v in cell["violations"][:3]:
+                print(f"      {v['state']}: "
+                      f"{'; '.join(v['verdict']['problems'][:2])}")
+    totals = summary["totals"]
+    failures = summary["failures"]
+    print(f"\n  totals: {totals['cells']} cells, {totals['covered']} states "
+          f"covered, {totals['oracle_calls']} oracle calls "
+          f"({totals['reduction_ratio']}x), {totals['classes']} classes, "
+          f"{totals['violations']} violation(s), "
+          f"{totals['class_mismatches']} class mismatch(es), "
+          f"{totals['sampling_fallbacks']} sampling fallback(s), "
+          f"{len(failures)} failed shard(s)")
+    for failure in failures[:5]:
+        print(f"      FAILED {failure['scheme']}/{failure['profile']} "
+              f"shard {failure['shard']}: {failure['error']}")
+    print(f"orchestration: {report.summary()}")
+    if args.json:
+        from repro.analysis.export import campaign_summary_to_json
+
+        with open(args.json, "w") as f:
+            f.write(campaign_summary_to_json(summary))
+        print(f"wrote campaign summary to {args.json}")
+    if args.reproducers:
+        import json
+        import os
+
+        os.makedirs(args.reproducers, exist_ok=True)
+        written = 0
+        for scheme in summary["grid"]:
+            for profile, cell in summary["grid"][scheme].items():
+                for v in cell["violations"]:
+                    if "reproducer" not in v:
+                        continue
+                    name = v["state"].replace("=", "").replace(",", "_")
+                    path = os.path.join(
+                        args.reproducers, f"{scheme}_{profile}_{name}.json"
+                    )
+                    with open(path, "w") as f:
+                        json.dump(v["reproducer"], f, indent=2, sort_keys=True)
+                    written += 1
+        print(f"wrote {written} minimized reproducer(s) to {args.reproducers}/")
+    problems = []
+    if totals["violations"]:
+        problems.append(f"{totals['violations']} violation(s)")
+    if totals["class_mismatches"]:
+        problems.append(f"{totals['class_mismatches']} class mismatch(es)")
+    if totals["sampling_fallbacks"]:
+        problems.append(
+            f"{totals['sampling_fallbacks']} sampling fallback(s) "
+            "(coverage not exhaustive)"
+        )
+    if failures:
+        problems.append(f"{len(failures)} failed shard(s)")
+    if args.min_classes and totals["classes"] < args.min_classes:
+        problems.append(
+            f"only {totals['classes']} classes (< --min-classes "
+            f"{args.min_classes})"
+        )
+    if problems:
+        print(f"campaign FAILED: {', '.join(problems)}")
+        return 1
+    print("campaign ok: exhaustive coverage, no violations")
+    return 0
 
 
 def _load_reproducer(path: str):
@@ -731,6 +848,16 @@ def build_parser() -> argparse.ArgumentParser:
                                "batches (demonstrates oracle sensitivity)")
     cexplore.add_argument("--nested-depth", type=int, default=2, choices=(1, 2),
                           help="crash-during-recovery schedule depth")
+    cexplore.add_argument("--profile", default="hotset",
+                          help="recording workload: 'hotset' or a Figure-5 "
+                               "SPEC surrogate name")
+    cexplore.add_argument("--classes", action="store_true",
+                          help="route states through the equivalence-class "
+                               "reducer: exhaustive drop-sets (budget "
+                               "ignored), one oracle run per class")
+    cexplore.add_argument("--spot", type=int, default=1,
+                          help="passing-class witnesses spot-checked against "
+                               "the representative (reduce mode)")
     cexplore.add_argument("--export", metavar="FILE", default=None,
                           help="write the JSON exploration summary to FILE")
     cexplore.add_argument("--reproducers", metavar="DIR", default=None,
@@ -738,6 +865,40 @@ def build_parser() -> argparse.ArgumentParser:
                                "into DIR")
     add_run_options(cexplore)
     cexplore.set_defaults(func=cmd_crash_explore)
+    ccampaign = csub.add_parser(
+        "campaign",
+        help="the standing exhaustive campaign: scheme x workload grid of "
+             "reduced (class-covered) explorations",
+    )
+    ccampaign.add_argument("--schemes", nargs="+", metavar="SCHEME",
+                           choices=sorted(SCHEME_LABELS), default=None,
+                           help="grid rows (default: every scheme)")
+    ccampaign.add_argument("--profiles", nargs="+", metavar="PROFILE",
+                           default=None,
+                           help="grid columns (default: hotset plus every "
+                                "Figure-5 surrogate)")
+    ccampaign.add_argument("--steps", type=int, default=None,
+                           help="write-backs per recorded workload "
+                                "(default: the smoke budget)")
+    ccampaign.add_argument("--window", type=int, default=4,
+                           help="in-flight reordering window (units)")
+    ccampaign.add_argument("--seed", type=int, default=7)
+    ccampaign.add_argument("--shards", type=int, default=None,
+                           help="enumerate cells per grid cell (default 4)")
+    ccampaign.add_argument("--spot", type=int, default=1,
+                           help="passing-class witnesses spot-checked per "
+                                "class")
+    ccampaign.add_argument("--min-classes", type=int, default=0,
+                           help="fail unless the campaign distinguishes at "
+                                "least this many classes in total")
+    ccampaign.add_argument("--json", metavar="FILE", default=None,
+                           help="write the JSON campaign summary (grid, "
+                                "class tables, totals) to FILE")
+    ccampaign.add_argument("--reproducers", metavar="DIR", default=None,
+                           help="write minimized reproducer JSON artifacts "
+                                "into DIR")
+    add_run_options(ccampaign)
+    ccampaign.set_defaults(func=cmd_crash_campaign)
     creplay = csub.add_parser(
         "replay", help="re-run a reproducer artifact on a fresh oracle"
     )

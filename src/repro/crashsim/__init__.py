@@ -12,10 +12,14 @@ micro-steps; this package turns the recovery oracle into a *falsifier*:
 3. :mod:`~repro.crashsim.oracle` runs the design's own recovery on each
    state and checks the documented contract, including nested
    crash-during-recovery schedules;
-4. :mod:`~repro.crashsim.minimize` delta-debugs any violation to a
+4. :mod:`~repro.crashsim.reduce` partitions the states into
+   recovery-relevant equivalence classes so one oracle run covers a
+   whole class (and exhaustive coverage needs no sampling);
+5. :mod:`~repro.crashsim.minimize` delta-debugs any violation to a
    minimal replayable reproducer;
-5. :mod:`~repro.crashsim.explore` fans the whole thing out through the
-   run orchestrator (cached, journaled, parallel).
+6. :mod:`~repro.crashsim.explore` fans the whole thing out through the
+   run orchestrator (cached, journaled, parallel) — one-shot
+   explorations and the standing scheme x workload crash campaign.
 """
 
 from repro.crashsim.enumerate import (
@@ -24,7 +28,15 @@ from repro.crashsim.enumerate import (
     applied_ops,
     build_state,
 )
-from repro.crashsim.explore import ExploreConfig, explore_specs, record_trace, run_explore
+from repro.crashsim.explore import (
+    CrashCampaignConfig,
+    ExploreConfig,
+    campaign_specs,
+    explore_specs,
+    record_trace,
+    run_campaign,
+    run_explore,
+)
 from repro.crashsim.minimize import (
     Reproducer,
     from_state,
@@ -32,7 +44,20 @@ from repro.crashsim.minimize import (
     rebuild_trace,
     replay,
 )
-from repro.crashsim.oracle import ALLOWED_OUTCOMES, RecoveryOracle, Verdict
+from repro.crashsim.oracle import (
+    ALLOWED_OUTCOMES,
+    ClassOracle,
+    CrashClass,
+    RecoveryOracle,
+    Verdict,
+)
+from repro.crashsim.reduce import (
+    RECOVERY_VIEWS,
+    CrashStateReducer,
+    RecoveryView,
+    ReducedEnumerator,
+    recovery_view,
+)
 from repro.crashsim.trace import (
     PersistOp,
     PersistTrace,
@@ -43,24 +68,34 @@ from repro.crashsim.workload import record_workload
 
 __all__ = [
     "ALLOWED_OUTCOMES",
+    "CrashCampaignConfig",
+    "ClassOracle",
+    "CrashClass",
     "CrashEnumerator",
     "CrashState",
+    "CrashStateReducer",
     "ExploreConfig",
     "PersistOp",
     "PersistTrace",
     "PersistTraceRecorder",
+    "RECOVERY_VIEWS",
     "RecoveryOracle",
+    "RecoveryView",
+    "ReducedEnumerator",
     "Reproducer",
     "TraceUnit",
     "Verdict",
     "applied_ops",
     "build_state",
+    "campaign_specs",
     "explore_specs",
     "from_state",
     "minimize",
     "rebuild_trace",
     "record_trace",
     "record_workload",
+    "recovery_view",
     "replay",
+    "run_campaign",
     "run_explore",
 ]

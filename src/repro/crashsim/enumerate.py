@@ -43,6 +43,23 @@ from repro.crashsim.trace import PersistTrace, PersistOp, TraceUnit, registers_t
 #: Defaults chosen so the default window is exhaustive: 2**4 <= 16.
 DEFAULT_WINDOW = 4
 DEFAULT_BUDGET = 16
+#: Rejection-sampling retry multiplier: how many draws the sampler may
+#: spend per requested drop-set before giving up on filling the budget.
+SAMPLE_RETRY_FACTOR = 16
+
+
+def canonical_value(value):
+    """A hashable, order-independent image of a (nested) register value.
+
+    Dicts become sorted item tuples recursively, so two structurally
+    equal register files hash identically no matter the insertion order
+    of nested mappings such as ``counter_log``.
+    """
+    if isinstance(value, dict):
+        return tuple(sorted((k, canonical_value(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_value(v) for v in value)
+    return value
 
 
 @dataclass
@@ -77,7 +94,7 @@ class CrashState:
             h.update(addr.to_bytes(8, "little"))
             h.update(self.lines[addr])
         regs = registers_to_dict(self.registers)
-        h.update(repr(sorted(regs.items())).encode())
+        h.update(repr(canonical_value(regs)).encode())
         return h.hexdigest()
 
 
@@ -144,6 +161,12 @@ class CrashEnumerator:
         self.budget = budget
         self.seed = seed
         self.torn_batches = torn_batches
+        #: Coverage accounting for the sampled fallback: how many crash
+        #: points fell back to sampling, how many drop-sets they asked
+        #: for and how many distinct ones the sampler actually produced.
+        #: ``sampled < requested`` means the budget was partly wasted;
+        #: ``points > 0`` at all means coverage was not exhaustive.
+        self.sample_stats = {"points": 0, "requested": 0, "sampled": 0}
 
     # -- drop-set machinery --------------------------------------------------------
 
@@ -178,9 +201,17 @@ class CrashEnumerator:
                     if self._consistent(frozenset(combo), candidates):
                         out.append(combo)
             return out
+        # Sampled fallback.  Forward repair collapses distinct draws into
+        # duplicates, so a fixed number of draws can return far fewer
+        # than ``budget`` distinct sets; rejection-sample until the
+        # budget is met or the retry cap is spent, and account for the
+        # shortfall either way.
         rng = random.Random(f"{self.seed}:{k}")
         seen: set[tuple[int, ...]] = set()
-        for _ in range(self.budget):
+        attempts = 0
+        cap = self.budget * SAMPLE_RETRY_FACTOR
+        while len(seen) < self.budget and attempts < cap:
+            attempts += 1
             drop = {j for j in candidates if rng.random() < 0.5}
             # Forward repair: dropping a unit drags every later window
             # unit sharing a line down with it (transitively).
@@ -192,6 +223,9 @@ class CrashEnumerator:
                     drop.add(j)
             if drop:
                 seen.add(tuple(sorted(drop)))
+        self.sample_stats["points"] += 1
+        self.sample_stats["requested"] += self.budget
+        self.sample_stats["sampled"] += len(seen)
         return sorted(seen)
 
     # -- state generation ---------------------------------------------------------

@@ -54,6 +54,14 @@ class ExploreConfig:
     torn_batches: bool = False
     #: Nested crash-during-recovery schedules per recovery site (1..2).
     nested_depth: int = 2
+    #: Recording workload profile ('hotset' or a Figure-5 SPEC surrogate).
+    profile: str = "hotset"
+    #: Route enumeration through the equivalence-class reducer
+    #: (``crashsim.reduce``): exhaustive drop-sets, one oracle run per
+    #: class, witness verdict attribution.
+    reduce: bool = False
+    #: Passing-class witnesses spot-checked against the representative.
+    spot: int = 1
 
 
 def record_trace(scheme_name: str, cfg: ExploreConfig):
@@ -64,7 +72,9 @@ def record_trace(scheme_name: str, cfg: ExploreConfig):
     scheme = create_scheme(
         scheme_name, data_capacity=cfg.data_capacity, seed=cfg.seed
     )
-    return scheme, record_workload(scheme, cfg.steps, cfg.seed)
+    return scheme, record_workload(
+        scheme, cfg.steps, cfg.seed, profile=cfg.profile
+    )
 
 
 def _cell_config(spec) -> ExploreConfig:
@@ -78,6 +88,9 @@ def _cell_config(spec) -> ExploreConfig:
         shards=p.get("shards", 1),
         data_capacity=p["data_capacity"],
         torn_batches=p.get("torn", False),
+        profile=p.get("profile", "hotset"),
+        reduce=p.get("reduce", False),
+        spot=p.get("spot", 1),
     )
 
 
@@ -94,26 +107,72 @@ def _violation_entry(state, verdict, reproducer=None) -> dict:
     return entry
 
 
-def run_enumerate_cell(spec) -> dict:
-    """Execute one ``enumerate`` shard; returns a JSON-able payload."""
-    from repro.crashsim.enumerate import CrashEnumerator, applied_ops, build_state
+def _minimize_violation(spec, cfg, trace, oracle, state, verdict):
+    from repro.crashsim.enumerate import applied_ops, build_state
     from repro.crashsim.minimize import from_state, minimize
-    from repro.crashsim.oracle import RecoveryOracle
+
+    ops = applied_ops(trace, state)
+    minimal = minimize(trace, ops, oracle, verdict.signature())
+    final = oracle.evaluate(build_state(trace, minimal))
+    return from_state(
+        trace,
+        minimal,
+        final,
+        description=(
+            f"{spec.scheme} crash state {state.describe()} minimized "
+            f"from {len(ops)} to {len(minimal)} persist micro-ops"
+        ),
+        data_capacity=cfg.data_capacity,
+    )
+
+
+def run_enumerate_cell(spec) -> dict:
+    """Execute one ``enumerate`` shard; returns a JSON-able payload.
+
+    In *reduce* mode the shard routes every state through the
+    equivalence-class machinery: drop-sets are expanded exhaustively
+    (never sampled), one oracle run covers each class, violating classes
+    fall back to per-witness evaluation and pinned-drop variants of
+    violating states are materialized — violation findings stay
+    byte-identical to a brute-force run's, verdict for verdict.
+    """
+    from repro.crashsim.enumerate import CrashEnumerator
+    from repro.crashsim.oracle import ClassOracle, RecoveryOracle
+    from repro.crashsim.reduce import (
+        CrashStateReducer,
+        ReducedEnumerator,
+        materialize,
+        pin_variants,
+    )
 
     cfg = _cell_config(spec)
     shard = spec.params["shard"]
     shards = spec.params["shards"]
     _, trace = record_trace(spec.scheme, cfg)
-    enumerator = CrashEnumerator(
-        trace,
-        window=cfg.window,
-        budget=cfg.budget,
-        seed=cfg.seed,
-        torn_batches=cfg.torn_batches,
-    )
     oracle = RecoveryOracle(
         spec.scheme, data_capacity=cfg.data_capacity, seed=cfg.seed
     )
+    if cfg.reduce:
+        reducer = CrashStateReducer(
+            trace, spec.scheme, cfg.data_capacity, cfg.seed
+        )
+        enumerator = ReducedEnumerator(
+            trace,
+            reducer,
+            window=cfg.window,
+            seed=cfg.seed,
+            torn_batches=cfg.torn_batches,
+        )
+        class_oracle = ClassOracle(oracle, reducer, spot=cfg.spot)
+    else:
+        enumerator = CrashEnumerator(
+            trace,
+            window=cfg.window,
+            budget=cfg.budget,
+            seed=cfg.seed,
+            torn_batches=cfg.torn_batches,
+        )
+        class_oracle = None
     hashes: set[str] = set()
     outcomes: Counter[str] = Counter()
     violations: list[dict] = []
@@ -122,30 +181,37 @@ def run_enumerate_cell(spec) -> dict:
     for state in enumerator.states(points=lambda k: k % shards == shard):
         evaluated += 1
         hashes.add(state.image_hash())
-        verdict = oracle.evaluate(state)
-        outcomes[verdict.outcome] += 1
+        if class_oracle is None:
+            weight = 1
+            verdict = oracle.evaluate(state)
+        else:
+            weight = 1 if state.torn is not None else enumerator.weight(state.k)
+            verdict, _role = class_oracle.submit(state, weight=weight)
         if verdict.ok:
+            outcomes[verdict.outcome] += weight
             continue
+        outcomes[verdict.outcome] += 1
         reproducer = None
         if minimized < MAX_MINIMIZE:
             minimized += 1
-            ops = applied_ops(trace, state)
-            minimal = minimize(trace, ops, oracle, verdict.signature())
-            final = oracle.evaluate(build_state(trace, minimal))
-            reproducer = from_state(
-                trace,
-                minimal,
-                final,
-                description=(
-                    f"{spec.scheme} crash state {state.describe()} minimized "
-                    f"from {len(ops)} to {len(minimal)} persist micro-ops"
-                ),
-                data_capacity=cfg.data_capacity,
+            reproducer = _minimize_violation(
+                spec, cfg, trace, oracle, state, verdict
             )
         violations.append(_violation_entry(state, verdict, reproducer))
-    return {
+        if class_oracle is not None and state.torn is None:
+            # A violating state forfeits its pin weight: every pinned
+            # variant it stood for is materialized and judged for real.
+            for vdrop in pin_variants(state, enumerator.pins.get(state.k, ())):
+                vstate = materialize(trace, state.k, vdrop)
+                hashes.add(vstate.image_hash())
+                vverdict = class_oracle.evaluate_raw(vstate)
+                outcomes[vverdict.outcome] += 1
+                if not vverdict.ok:
+                    violations.append(_violation_entry(vstate, vverdict))
+    payload = {
         "mode": "enumerate",
         "scheme": spec.scheme,
+        "profile": cfg.profile,
         "shard": shard,
         "shards": shards,
         "trace_units": len(trace.units),
@@ -154,7 +220,15 @@ def run_enumerate_cell(spec) -> dict:
         "states": sorted(hashes),
         "outcomes": dict(sorted(outcomes.items())),
         "violations": violations,
+        "sampling": dict(enumerator.sample_stats),
     }
+    if class_oracle is not None:
+        payload["reduce"] = True
+        payload["covered"] = sum(outcomes.values())
+        payload["oracle_calls"] = class_oracle.calls
+        payload["classes"] = class_oracle.class_table()
+        payload["class_mismatches"] = list(class_oracle.mismatches)
+    return payload
 
 
 def _nested_schedule(site: str, depth: int) -> list[tuple[str, int]]:
@@ -212,6 +286,8 @@ def explore_specs(cfg: ExploreConfig) -> list:
         "budget": cfg.budget,
         "data_capacity": cfg.data_capacity,
     }
+    if cfg.profile != "hotset":
+        base["profile"] = cfg.profile
     specs = []
     for scheme in cfg.schemes:
         for shard in range(cfg.shards):
@@ -220,6 +296,9 @@ def explore_specs(cfg: ExploreConfig) -> list:
             )
             if cfg.torn_batches:
                 params["torn"] = True
+            if cfg.reduce:
+                params["reduce"] = True
+                params["spot"] = cfg.spot
             specs.append(
                 RunSpec(kind="crash", scheme=scheme, seed=cfg.seed, params=params)
             )
@@ -278,6 +357,11 @@ def run_explore(
                 "outcomes": Counter(),
                 "violations": [],
                 "nested": {},
+                "sampling": Counter(),
+                "covered": 0,
+                "oracle_calls": 0,
+                "class_tables": [],
+                "class_mismatches": [],
             },
         )
         if payload["mode"] == "enumerate":
@@ -286,6 +370,12 @@ def run_explore(
             entry["trace_units"] = payload["trace_units"]
             entry["outcomes"].update(payload["outcomes"])
             entry["violations"].extend(payload["violations"])
+            entry["sampling"].update(payload.get("sampling", {}))
+            if payload.get("reduce"):
+                entry["covered"] += payload["covered"]
+                entry["oracle_calls"] += payload["oracle_calls"]
+                entry["class_tables"].append(payload["classes"])
+                entry["class_mismatches"].extend(payload["class_mismatches"])
         else:
             entry["nested"].setdefault(payload["site"], []).append(
                 {
@@ -307,6 +397,10 @@ def run_explore(
             site: sorted(runs, key=lambda r: r["depth"])
             for site, runs in sorted(entry["nested"].items())
         }
+        sampling = {
+            key: int(entry["sampling"].get(key, 0))
+            for key in ("points", "requested", "sampled")
+        }
         summary["schemes"][scheme] = {
             "trace_units": entry["trace_units"],
             "states_evaluated": entry["evaluated"],
@@ -317,7 +411,28 @@ def run_explore(
             "nested_ok": all(
                 not r["problems"] for runs in nested.values() for r in runs
             ),
+            "sampling": sampling,
+            # Exhaustive means no crash point ever fell back to sampled
+            # drop-sets; when False the run is a spot check, not a proof.
+            "coverage_exhaustive": sampling["points"] == 0,
         }
+        if cfg.reduce:
+            table, merge_mismatches = _merge_class_tables(entry["class_tables"])
+            mismatches = entry["class_mismatches"] + merge_mismatches
+            summary["schemes"][scheme].update(
+                {
+                    "states_covered": entry["covered"],
+                    "oracle_calls": entry["oracle_calls"],
+                    "classes": len(table),
+                    "reduction_ratio": (
+                        round(entry["covered"] / entry["oracle_calls"], 3)
+                        if entry["oracle_calls"]
+                        else None
+                    ),
+                    "class_table": table,
+                    "class_mismatches": mismatches,
+                }
+            )
     summary["total_violations"] = total_violations
     return summary, report
 
@@ -333,4 +448,250 @@ def _config_dict(cfg: ExploreConfig) -> dict:
         "data_capacity": cfg.data_capacity,
         "torn_batches": cfg.torn_batches,
         "nested_depth": cfg.nested_depth,
+        "profile": cfg.profile,
+        "reduce": cfg.reduce,
+        "spot": cfg.spot,
     }
+
+
+# ---------------------------------------------------------------------------
+# The standing campaign: scheme x workload exhaustive exploration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CrashCampaignConfig:
+    """One exhaustive crash campaign: every scheme x every workload.
+
+    Each grid cell runs the *reduced* enumerator (exhaustive drop-sets,
+    class-representative verification), sharded per crash point through
+    the orchestrator — so a campaign is content-cached by spec hash,
+    journal-resumable, and one failing shard never poisons the rest of
+    the grid.
+    """
+
+    schemes: tuple[str, ...] = ()
+    #: Workload profiles; empty = the hot set plus every Figure-5
+    #: surrogate (see :func:`repro.crashsim.workload.workload_profiles`).
+    profiles: tuple[str, ...] = ()
+    steps: int = DEFAULT_STEPS
+    window: int = 4
+    seed: int = 7
+    shards: int = DEFAULT_SHARDS
+    data_capacity: int = 1 << 16
+    spot: int = 1
+
+    def resolved_schemes(self) -> tuple[str, ...]:
+        from repro.crashsim.oracle import ALLOWED_OUTCOMES
+
+        return self.schemes or tuple(sorted(ALLOWED_OUTCOMES))
+
+    def resolved_profiles(self) -> tuple[str, ...]:
+        from repro.crashsim.workload import workload_profiles
+
+        return self.profiles or tuple(workload_profiles())
+
+
+def campaign_specs(cfg: CrashCampaignConfig) -> list:
+    """The campaign's cell decomposition: reduce-mode enumerate shards."""
+    from repro.runs import RunSpec
+
+    specs = []
+    for scheme in cfg.resolved_schemes():
+        for profile in cfg.resolved_profiles():
+            for shard in range(cfg.shards):
+                params = {
+                    "steps": cfg.steps,
+                    "window": cfg.window,
+                    "budget": 1,
+                    "data_capacity": cfg.data_capacity,
+                    "mode": "enumerate",
+                    "shard": shard,
+                    "shards": cfg.shards,
+                    "reduce": True,
+                    "spot": cfg.spot,
+                }
+                if profile != "hotset":
+                    params["profile"] = profile
+                specs.append(
+                    RunSpec(
+                        kind="crash", scheme=scheme, seed=cfg.seed, params=params
+                    )
+                )
+    return specs
+
+
+def _merge_class_tables(tables: list[list[dict]]) -> tuple[list[dict], list[dict]]:
+    """Merge per-shard class tables by fingerprint.
+
+    Witness/weight/evaluation counts sum; the representative with the
+    smallest ``(k, describe)`` wins, deterministically.  Shards that
+    disagree on a fingerprint's outcome expose a reducer bug and are
+    returned as mismatches rather than silently merged.
+    """
+    merged: dict[str, dict] = {}
+    mismatches: list[dict] = []
+    for table in tables:
+        for record in table:
+            fp = record["fingerprint"]
+            seen = merged.get(fp)
+            if seen is None:
+                merged[fp] = dict(record)
+                continue
+            if (record["outcome"], record["ok"]) != (seen["outcome"], seen["ok"]):
+                mismatches.append(
+                    {
+                        "fingerprint": fp,
+                        "outcomes": sorted({record["outcome"], seen["outcome"]}),
+                    }
+                )
+            for key in ("witnesses", "weight", "evaluated", "spot_checked"):
+                seen[key] += record[key]
+            if (record["k"], record["representative"]) < (
+                seen["k"],
+                seen["representative"],
+            ):
+                seen["k"] = record["k"]
+                seen["representative"] = record["representative"]
+    table = [merged[fp] for fp in sorted(merged)]
+    return table, mismatches
+
+
+def run_campaign(
+    cfg: CrashCampaignConfig | None = None,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_root=None,
+    timeout: float | None = None,
+    progress=None,
+):
+    """Run one campaign; returns ``(summary, RunReport)``.
+
+    Like :func:`run_explore` the summary is pure content — a serial run,
+    a pooled run and a warm-cache run of the same campaign summarize
+    byte-identically.  Failed shards are isolated: their grid cells are
+    reported under ``failures`` while every healthy cell still merges.
+    """
+    from repro.runs import orchestrate
+
+    cfg = cfg or CrashCampaignConfig()
+    specs = campaign_specs(cfg)
+    report = orchestrate(
+        "crash-campaign",
+        specs,
+        jobs=jobs,
+        use_cache=cache,
+        cache_root=cache_root,
+        timeout=timeout,
+        progress=progress,
+    )
+
+    grid: dict[str, dict[str, dict]] = {}
+    failures: list[dict] = []
+    for spec in specs:
+        profile = spec.params.get("profile", "hotset")
+        outcome = report.outcomes[spec.spec_hash()]
+        if not outcome.ok:
+            failures.append(
+                {
+                    "scheme": spec.scheme,
+                    "profile": profile,
+                    "shard": spec.params["shard"],
+                    "error": outcome.error or outcome.status,
+                }
+            )
+            continue
+        payload = outcome.payload
+        cell = grid.setdefault(spec.scheme, {}).setdefault(
+            profile,
+            {
+                "trace_units": 0,
+                "evaluated": 0,
+                "covered": 0,
+                "oracle_calls": 0,
+                "distinct_states": set(),
+                "outcomes": Counter(),
+                "violations": [],
+                "class_tables": [],
+                "mismatches": [],
+                "sampling_points": 0,
+            },
+        )
+        cell["trace_units"] = payload["trace_units"]
+        cell["evaluated"] += payload["evaluated"]
+        cell["covered"] += payload["covered"]
+        cell["oracle_calls"] += payload["oracle_calls"]
+        cell["distinct_states"].update(payload["states"])
+        cell["outcomes"].update(payload["outcomes"])
+        cell["violations"].extend(payload["violations"])
+        cell["class_tables"].append(payload["classes"])
+        cell["mismatches"].extend(payload["class_mismatches"])
+        cell["sampling_points"] += payload["sampling"]["points"]
+
+    summary = {
+        "config": {
+            "schemes": list(cfg.resolved_schemes()),
+            "profiles": list(cfg.resolved_profiles()),
+            "steps": cfg.steps,
+            "window": cfg.window,
+            "seed": cfg.seed,
+            "shards": cfg.shards,
+            "data_capacity": cfg.data_capacity,
+            "spot": cfg.spot,
+        },
+        "grid": {},
+        "failures": sorted(
+            failures, key=lambda f: (f["scheme"], f["profile"], f["shard"])
+        ),
+    }
+    totals = {
+        "cells": 0,
+        "evaluated": 0,
+        "covered": 0,
+        "oracle_calls": 0,
+        "classes": 0,
+        "violations": 0,
+        "class_mismatches": 0,
+        "sampling_fallbacks": 0,
+    }
+    for scheme in sorted(grid):
+        for profile in sorted(grid[scheme]):
+            cell = grid[scheme][profile]
+            table, merge_mismatches = _merge_class_tables(cell["class_tables"])
+            mismatches = cell["mismatches"] + merge_mismatches
+            violations = sorted(
+                cell["violations"], key=lambda v: (v["k"], v["state"])
+            )
+            totals["cells"] += 1
+            totals["evaluated"] += cell["evaluated"]
+            totals["covered"] += cell["covered"]
+            totals["oracle_calls"] += cell["oracle_calls"]
+            totals["classes"] += len(table)
+            totals["violations"] += len(violations)
+            totals["class_mismatches"] += len(mismatches)
+            totals["sampling_fallbacks"] += cell["sampling_points"]
+            summary["grid"].setdefault(scheme, {})[profile] = {
+                "trace_units": cell["trace_units"],
+                "states_materialized": cell["evaluated"],
+                "states_covered": cell["covered"],
+                "distinct_states": len(cell["distinct_states"]),
+                "oracle_calls": cell["oracle_calls"],
+                "classes": len(table),
+                "reduction_ratio": (
+                    round(cell["covered"] / cell["oracle_calls"], 3)
+                    if cell["oracle_calls"]
+                    else None
+                ),
+                "outcomes": dict(sorted(cell["outcomes"].items())),
+                "violations": violations,
+                "class_table": table,
+                "class_mismatches": mismatches,
+                "sampling_fallbacks": cell["sampling_points"],
+            }
+    totals["reduction_ratio"] = (
+        round(totals["covered"] / totals["oracle_calls"], 3)
+        if totals["oracle_calls"]
+        else None
+    )
+    summary["totals"] = totals
+    return summary, report

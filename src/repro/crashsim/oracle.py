@@ -98,6 +98,120 @@ class Verdict:
         }
 
 
+@dataclass
+class CrashClass:
+    """One equivalence class of crash states (see ``crashsim.reduce``)."""
+
+    fingerprint: str
+    #: ``describe()`` of the first member seen — the evaluated one.
+    representative: str
+    k: int
+    verdict: "Verdict"
+    #: Materialized states that mapped to this class.
+    witnesses: int = 0
+    #: Brute-force states covered (witnesses plus their pinned variants).
+    weight: int = 0
+    #: Oracle invocations attributed to this class.
+    evaluated: int = 0
+    spot_checked: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "representative": self.representative,
+            "k": self.k,
+            "outcome": self.verdict.outcome,
+            "ok": self.verdict.ok,
+            "witnesses": self.witnesses,
+            "weight": self.weight,
+            "evaluated": self.evaluated,
+            "spot_checked": self.spot_checked,
+        }
+
+
+class ClassOracle:
+    """Class-aware front end to a :class:`RecoveryOracle`.
+
+    The first state of each fingerprint is evaluated for real and
+    becomes the class *representative*; later witnesses inherit its
+    verdict.  Two guard rails keep the reduction honest:
+
+    * a **violating** class is never trusted — every witness is
+      evaluated individually (role ``expanded``), so violation findings
+      are byte-identical to a brute-force run;
+    * the first ``spot`` witnesses of each *passing* class are evaluated
+      anyway (role ``spot``); an (outcome, signature) mismatch against
+      the representative is a reducer bug and is recorded loudly in
+      :attr:`mismatches`.
+    """
+
+    def __init__(self, oracle: "RecoveryOracle", reducer, spot: int = 1) -> None:
+        self.oracle = oracle
+        self.reducer = reducer
+        self.spot = spot
+        self.calls = 0
+        self.classes: dict[str, CrashClass] = {}
+        self.mismatches: list[dict] = []
+
+    def evaluate_raw(self, state: CrashState, schedule=None) -> Verdict:
+        """A counted pass-through evaluation (pin-variant expansion)."""
+        self.calls += 1
+        return self.oracle.evaluate(state, schedule)
+
+    def submit(self, state: CrashState, weight: int = 1) -> tuple[Verdict, str]:
+        """Attribute *state* to its class; returns ``(verdict, role)``.
+
+        *weight* is the number of brute-force states this materialized
+        state stands for (1 plus its pinned-drop variants).
+        """
+        fingerprint = self.reducer.fingerprint(state)
+        cls = self.classes.get(fingerprint)
+        if cls is None:
+            verdict = self.evaluate_raw(state)
+            cls = CrashClass(
+                fingerprint,
+                state.describe(),
+                state.k,
+                verdict,
+                witnesses=1,
+                weight=weight,
+                evaluated=1,
+            )
+            self.classes[fingerprint] = cls
+            return verdict, "representative"
+        cls.witnesses += 1
+        cls.weight += weight
+        if not cls.verdict.ok:
+            verdict = self.evaluate_raw(state)
+            cls.evaluated += 1
+            return verdict, "expanded"
+        if cls.spot_checked < self.spot:
+            verdict = self.evaluate_raw(state)
+            cls.evaluated += 1
+            cls.spot_checked += 1
+            if (verdict.outcome, verdict.signature()) != (
+                cls.verdict.outcome,
+                cls.verdict.signature(),
+            ):
+                self.mismatches.append(
+                    {
+                        "fingerprint": fingerprint,
+                        "representative": cls.representative,
+                        "witness": state.describe(),
+                        "representative_outcome": cls.verdict.outcome,
+                        "witness_outcome": verdict.outcome,
+                    }
+                )
+            return verdict, "spot"
+        return cls.verdict, "witness"
+
+    def class_table(self) -> list[dict]:
+        """JSON-able class records, sorted by fingerprint."""
+        return [
+            self.classes[fp].to_dict() for fp in sorted(self.classes)
+        ]
+
+
 class RecoveryOracle:
     """Evaluates crash states against one scheme's recovery contract.
 

@@ -141,6 +141,11 @@ class PersistTrace:
     units: list[TraceUnit] = field(default_factory=list)
     #: op seq -> plaintext the workload intended for that data write.
     annotations: dict[int, bytes] = field(default_factory=dict)
+    #: op seq -> (major, minor) encryption counter the write used.  Only
+    #: annotated data writes are covered; the equivalence-class reducer
+    #: needs the pair to predict recovery's data-HMAC roll-forward
+    #: without trying counters against the ciphertext.
+    counters: dict[int, tuple[int, int]] = field(default_factory=dict)
     #: owner class -> its ``@persistence`` declaration, as data.
     domains: dict = field(default_factory=dict)
 
@@ -195,6 +200,7 @@ class PersistTraceRecorder:
         self._open_group: list[PersistOp] | None = None
         self._open_batch: list[PersistOp] | None = None
         self._annotations: dict[int, bytes] = {}
+        self._counters: dict[int, tuple[int, int]] = {}
         self._attached = False
         self._trace: PersistTrace | None = None
 
@@ -237,6 +243,7 @@ class PersistTraceRecorder:
         trace = self._trace
         trace.units = self._units
         trace.annotations = self._annotations
+        trace.counters = self._counters
         return trace
 
     # -- workload annotation ----------------------------------------------------
@@ -252,8 +259,36 @@ class PersistTraceRecorder:
             for op in reversed(unit.ops):
                 if op.kind == "write" and op.addr == addr:
                     self._annotations[op.seq] = bytes(plaintext)
+                    self._counters[op.seq] = self._counter_pair(addr)
                     return
         raise ValueError(f"no recorded write to {addr:#x} to annotate")
+
+    def _counter_pair(self, addr: int) -> tuple[int, int]:
+        """The (major, minor) the write-back to *addr* just encrypted under.
+
+        Right after a write-back the bumped counter line is either still
+        resident in the meta cache or — if an eviction pushed it out in
+        the same write-back's tree propagation — already drained to NVM
+        and therefore in the recorded stream; both copies carry the
+        post-bump pair the encryption engine used.
+        """
+        from repro.metadata.counters import CounterLine
+
+        scheme = self.scheme
+        counter_addr = scheme.layout.counter_line_addr(addr)
+        slot = scheme.layout.block_slot(addr)
+        meta = getattr(scheme, "meta", None)
+        if meta is not None:
+            line = meta.probe(counter_addr)
+            if line is not None and isinstance(line.data, CounterLine):
+                return line.data.counter_pair(slot)
+        for unit in reversed(self._units):
+            for op in reversed(unit.ops):
+                if op.kind != "tcb" and op.addr == counter_addr:
+                    return CounterLine.decode(op.data).counter_pair(slot)
+        return CounterLine.decode(
+            scheme.nvm.virgin(counter_addr)
+        ).counter_pair(slot)
 
     # -- hook plumbing -----------------------------------------------------------
 

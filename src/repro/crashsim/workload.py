@@ -1,8 +1,14 @@
-"""The recording workload: a deterministic hot-set write stream.
+"""The recording workloads: deterministic annotated write streams.
 
-Mirrors the fault campaign's hot-set shape (8 blocks on 2 pages, enough
-round-robin pressure to cross the update-times limit N and trigger every
-drain path) but runs under an attached
+The default ``hotset`` profile mirrors the fault campaign's hot-set
+shape (8 blocks on 2 pages, enough round-robin pressure to cross the
+update-times limit N and trigger every drain path).  The Figure-5
+profiles replay the write-back stream of one SPEC CPU2006 surrogate
+(:mod:`repro.workloads.spec`), folded onto a small page range so the
+crash campaign exercises each benchmark's metadata-locality shape —
+streaming wraps, strides, hot-set skew — rather than the hot-set's.
+
+Every workload runs under an attached
 :class:`~repro.crashsim.trace.PersistTraceRecorder`, annotating each
 write-back with its intended plaintext so the oracle can later derive
 the exact expected contents for *any* crash state.
@@ -19,6 +25,13 @@ BLOCKS_PER_PAGE = 4
 #: Fresh page the oracle's post-recovery probe write-back targets.
 PROBE_ADDR = 0x7000
 
+#: Where the SPEC-surrogate write streams land: 4 pages starting here
+#: (256 cache lines), clear of the probe page.
+SPEC_BASE = 0x2000
+SPEC_LINES = 256
+#: Name of the default hot-set profile.
+HOTSET = "hotset"
+
 
 def payload(seed: int, step: int) -> bytes:
     """The deterministic 64 B plaintext for one workload step."""
@@ -33,24 +46,62 @@ def hot_addrs() -> list[int]:
     ]
 
 
-def record_workload(scheme, steps: int, seed: int):
-    """Run the hot-set stream under a recorder; returns the trace.
+def workload_profiles() -> list[str]:
+    """Every recordable profile: the hot set plus the Figure-5 suite."""
+    from repro.workloads.spec import SPEC_ORDER
 
-    The recorder attaches *before* the warm-up round, so every line the
+    return [HOTSET, *SPEC_ORDER]
+
+
+def spec_write_addrs(profile: str, steps: int, seed: int) -> list[int]:
+    """The first *steps* write-back line addresses of one SPEC surrogate.
+
+    The surrogate's byte addresses are folded onto :data:`SPEC_LINES`
+    cache lines starting at :data:`SPEC_BASE`, preserving the profile's
+    access pattern (and hence its counter-line / tree-node sharing
+    shape) while keeping the crash-state space enumerable.
+    """
+    from repro.sim.trace import WRITE
+    from repro.workloads.spec import spec_trace
+
+    addrs: list[int] = []
+    length = max(64, steps * 4)
+    while len(addrs) < steps:
+        for record in spec_trace(profile, length, seed):
+            if record.op != WRITE:
+                continue
+            line = (record.addr // 64) % SPEC_LINES
+            addrs.append(SPEC_BASE + line * 64)
+            if len(addrs) == steps:
+                break
+        length *= 2
+    return addrs
+
+
+def record_workload(scheme, steps: int, seed: int, profile: str = HOTSET):
+    """Run one annotated write stream under a recorder; returns the trace.
+
+    The recorder attaches *before* the first write, so every line the
     workload ever wrote is annotated and the trace's initial image is
     the genesis state — there is no pre-history the oracle cannot see.
+    The hot-set profile keeps its warm-up round (every hot block written
+    once before the measured stream); the SPEC profiles replay their
+    folded write-back stream directly.
     """
     recorder = PersistTraceRecorder(scheme, seed=seed)
     recorder.attach()
-    addrs = hot_addrs()
     now = 0
-    for i, addr in enumerate(addrs):
-        data = payload(seed, -1 - i)
-        scheme.writeback(now, addr, data)
-        recorder.annotate(addr, data)
-        now += 500
-    for i in range(steps):
-        addr = addrs[i % len(addrs)]
+    if profile == HOTSET:
+        addrs = hot_addrs()
+        for i, addr in enumerate(addrs):
+            data = payload(seed, -1 - i)
+            scheme.writeback(now, addr, data)
+            recorder.annotate(addr, data)
+            now += 500
+        stream = [addrs[i % len(addrs)] for i in range(steps)]
+    else:
+        stream = spec_write_addrs(profile, steps, seed)
+    for i, addr in enumerate(stream):
         data = payload(seed, i)
         scheme.writeback(now, addr, data)
         recorder.annotate(addr, data)

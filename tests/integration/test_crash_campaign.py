@@ -1,0 +1,141 @@
+"""Integration tests for the standing exhaustive crash campaign.
+
+The acceptance surface: a scheme x workload grid of reduce-mode cells
+completes with exhaustive coverage (zero sampling fallbacks), a real
+class-level saving, no violations and no class mismatches; the summary
+is byte-identical across serial, pooled and warm-cache runs; and a
+failing shard is isolated instead of poisoning the rest of the grid.
+"""
+
+import pytest
+
+from repro.analysis.export import campaign_summary_to_json
+from repro.crashsim import CrashCampaignConfig, campaign_specs, run_campaign
+
+SMOKE = CrashCampaignConfig(
+    schemes=("ccnvm", "sc"),
+    profiles=("hotset", "lbm"),
+    steps=48,
+    shards=2,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke(tmp_path_factory):
+    root = tmp_path_factory.mktemp("campaign-cache")
+    summary, report = run_campaign(SMOKE, cache_root=root)
+    return summary, report, root
+
+
+class TestCampaignSmoke:
+    def test_grid_is_complete(self, smoke):
+        summary, _, _ = smoke
+        assert sorted(summary["grid"]) == ["ccnvm", "sc"]
+        for scheme in summary["grid"]:
+            assert sorted(summary["grid"][scheme]) == ["hotset", "lbm"]
+        assert summary["failures"] == []
+        assert summary["totals"]["cells"] == 4
+
+    def test_exhaustive_coverage_no_fallbacks(self, smoke):
+        summary, _, _ = smoke
+        assert summary["totals"]["sampling_fallbacks"] == 0
+        for scheme, row in summary["grid"].items():
+            for profile, cell in row.items():
+                assert cell["sampling_fallbacks"] == 0, (scheme, profile)
+                # Every materialized state was attributed to a class.
+                assert cell["states_covered"] >= cell["states_materialized"]
+
+    def test_classes_reduce_oracle_work(self, smoke):
+        summary, _, _ = smoke
+        totals = summary["totals"]
+        assert totals["classes"] > 0
+        assert totals["oracle_calls"] < totals["covered"]
+        assert totals["reduction_ratio"] > 1
+        for row in summary["grid"].values():
+            for cell in row.values():
+                assert cell["classes"] == len(cell["class_table"])
+                assert sum(
+                    c["weight"] for c in cell["class_table"]
+                ) == cell["states_covered"]
+                for record in cell["class_table"]:
+                    assert set(record) == {
+                        "fingerprint", "representative", "k", "outcome",
+                        "ok", "witnesses", "weight", "evaluated",
+                        "spot_checked",
+                    }
+
+    def test_no_violations_no_mismatches(self, smoke):
+        summary, _, _ = smoke
+        assert summary["totals"]["violations"] == 0
+        assert summary["totals"]["class_mismatches"] == 0
+        for row in summary["grid"].values():
+            for cell in row.values():
+                assert cell["violations"] == []
+                assert cell["class_mismatches"] == []
+                assert all(c["ok"] for c in cell["class_table"])
+
+    def test_warm_rerun_is_fully_cached_and_identical(self, smoke):
+        summary, report, root = smoke
+        assert report.executed == len(campaign_specs(SMOKE))
+        warm_summary, warm_report = run_campaign(SMOKE, cache_root=root)
+        assert warm_report.executed == 0
+        assert warm_report.cache_hits == len(campaign_specs(SMOKE))
+        assert campaign_summary_to_json(warm_summary) == campaign_summary_to_json(
+            summary
+        )
+
+    @pytest.mark.slow
+    def test_serial_and_pooled_summaries_byte_identical(self, smoke, tmp_path):
+        summary, _, _ = smoke
+        pooled, report = run_campaign(SMOKE, jobs=2, cache_root=tmp_path)
+        assert report.executed == len(campaign_specs(SMOKE))
+        assert campaign_summary_to_json(pooled) == campaign_summary_to_json(
+            summary
+        )
+
+
+class TestShardFailureIsolation:
+    def test_failed_shard_reported_healthy_cells_merge(self, tmp_path, monkeypatch):
+        """One poisoned shard lands in ``failures``; the other cells of
+        the grid still merge their results."""
+        import repro.crashsim.explore as explore_mod
+
+        real = explore_mod.run_enumerate_cell
+
+        def poisoned(spec):
+            if spec.scheme == "sc" and spec.params["shard"] == 0:
+                raise RuntimeError("injected shard failure")
+            return real(spec)
+
+        monkeypatch.setattr(explore_mod, "run_enumerate_cell", poisoned)
+        cfg = CrashCampaignConfig(
+            schemes=("ccnvm", "sc"), profiles=("hotset",), steps=24, shards=2
+        )
+        summary, _ = run_campaign(cfg, cache_root=tmp_path, cache=False)
+        assert len(summary["failures"]) == 1
+        failure = summary["failures"][0]
+        assert (failure["scheme"], failure["profile"], failure["shard"]) == (
+            "sc", "hotset", 0,
+        )
+        assert "injected shard failure" in failure["error"]
+        # ccnvm is untouched; sc still carries its surviving shard.
+        assert summary["grid"]["ccnvm"]["hotset"]["states_covered"] > 0
+        assert summary["grid"]["sc"]["hotset"]["states_covered"] > 0
+
+
+class TestDefaults:
+    def test_default_grid_spans_every_scheme_and_profile(self):
+        from repro.crashsim.oracle import ALLOWED_OUTCOMES
+        from repro.crashsim.workload import workload_profiles
+
+        cfg = CrashCampaignConfig()
+        assert cfg.resolved_schemes() == tuple(sorted(ALLOWED_OUTCOMES))
+        assert cfg.resolved_profiles() == tuple(workload_profiles())
+        specs = campaign_specs(cfg)
+        assert len(specs) == (
+            len(cfg.resolved_schemes())
+            * len(cfg.resolved_profiles())
+            * cfg.shards
+        )
+        assert all(s.params["reduce"] for s in specs)
+        assert all(s.params["budget"] == 1 for s in specs)
