@@ -665,6 +665,7 @@ def cmd_runs_gc(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    import sys
     from pathlib import Path
 
     import repro
@@ -680,7 +681,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
             base_dir.parent / "lint-baseline.txt",
         )
         baseline = next((c for c in candidates if c.exists()), None)
-    config = LintConfig(root=root, base_dir=base_dir, baseline_path=baseline)
+    if args.design:
+        design = Path(args.design)
+    else:
+        # Anchor validation (B0) wants the DESIGN.md that travels with
+        # the baseline; skip it when linting a bare tree without one.
+        candidate = baseline.parent / "DESIGN.md" if baseline else None
+        design = candidate if candidate is not None and candidate.exists() else None
+    config = LintConfig(
+        root=root, base_dir=base_dir, baseline_path=baseline, design_path=design
+    )
     report = run_lint(config)
     if args.update_baseline:
         target = Path(args.baseline) if args.baseline else Path.cwd() / "lint-baseline.txt"
@@ -693,7 +703,28 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(lint_to_json(report))
     else:
         print(report.render_text())
-    return 0 if report.ok(strict=args.strict) else 1
+    print(f"analyzer runtime: {report.duration_seconds:.2f}s", file=sys.stderr)
+    exit_code = 0 if report.ok(strict=args.strict) else 1
+
+    if args.cross_check:
+        import json
+
+        from repro.lint.crosscheck import cross_check
+        from repro.lint.model import build_model
+
+        model = build_model(config.root, config.base_dir)
+        xcheck = cross_check(model, config)
+        print(xcheck.render_text())
+        if args.cross_check_out:
+            out = Path(args.cross_check_out)
+            out.write_text(
+                json.dumps(xcheck.to_dict(), indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"cross-check site diff written to {out}", file=sys.stderr)
+        if not xcheck.ok:
+            exit_code = 1
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -940,7 +971,16 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--strict", action="store_true",
                       help="also fail on stale baseline entries")
     lint.add_argument("--update-baseline", action="store_true",
-                      help="rewrite the baseline from the current findings")
+                      help="rewrite the baseline from the current findings "
+                           "(existing justification anchors are preserved)")
+    lint.add_argument("--design", default=None, metavar="FILE",
+                      help="DESIGN.md holding {#anchor} baseline "
+                           "justifications (default: next to the baseline)")
+    lint.add_argument("--cross-check", action="store_true",
+                      help="replay a smoke persist trace and diff dynamic "
+                           "persist sites against the static set")
+    lint.add_argument("--cross-check-out", default=None, metavar="FILE",
+                      help="write the static/dynamic site diff as JSON")
     lint.set_defaults(func=cmd_lint)
     return parser
 

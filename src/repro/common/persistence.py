@@ -31,6 +31,31 @@ Classes annotate themselves with the :func:`persistence` decorator::
 * ``mutators`` — the class's sanctioned write-path methods, quoted in
   lint messages as the suggested fix for a direct store.
 
+Four further fields declare the **ordering-point model** the
+interprocedural analyzer (rules P6/P7) reasons over:
+
+* ``stores`` — mutators that accept a *droppable* persistent store:
+  under ADR a normal WPQ write is durable once accepted, but the
+  controller may still lose it behind later in-flight traffic at a
+  power failure (the osiris_plus stop-loss bug class).  Declared on the
+  WPQ (``write``, ``write_partial``).
+* ``fences`` — mutators that *order* every earlier accepted store
+  before themselves: a batch commit (ADR flushes the whole batch and
+  the batch owns the WPQ end to end) and an epoch root commit (the
+  drain blocks until the WPQ is empty).  Declared on the WPQ
+  (``commit_atomic``) and the TCB (``commit_root``, ``set_roots``).
+* ``ordered`` — *seam* methods whose persistent stores uphold a
+  recovery bound and must therefore be fenced before the method
+  returns.  Declared on the scheme base for the write-back seams
+  (``_pre_accept``, ``_update_tree``, ``_post_writeback``): any
+  droppable store still pending at such a seam's exit can be lost
+  behind the very write-backs whose staleness it was meant to bound.
+* ``grouped`` — register micro-ops that must execute inside a
+  ``begin_combined``/``end_combined`` controller transaction so the
+  persist-trace recorder (and ADR) sees them share fate with the data
+  write they describe.  Declared on the TCB (``count_writeback``,
+  ``log_counter_update``).
+
 The decorator arguments must be **literal** tuples/lists of strings: the
 analyzer reads them from the AST without importing the code (importing
 the system under analysis could run it).  Non-literal declarations are
@@ -60,6 +85,10 @@ class DomainDeclaration:
     volatile: tuple[str, ...] = ()
     aka: tuple[str, ...] = ()
     mutators: tuple[str, ...] = ()
+    stores: tuple[str, ...] = ()
+    fences: tuple[str, ...] = ()
+    ordered: tuple[str, ...] = ()
+    grouped: tuple[str, ...] = ()
 
 
 #: Runtime registry of declared classes, keyed by class name.
@@ -72,6 +101,10 @@ def persistence(
     volatile: tuple[str, ...] = (),
     aka: tuple[str, ...] = (),
     mutators: tuple[str, ...] = (),
+    stores: tuple[str, ...] = (),
+    fences: tuple[str, ...] = (),
+    ordered: tuple[str, ...] = (),
+    grouped: tuple[str, ...] = (),
 ):
     """Class decorator declaring which attributes persist across a crash."""
     overlap = set(persistent) & set(volatile)
@@ -87,6 +120,10 @@ def persistence(
             tuple(volatile),
             tuple(aka),
             tuple(mutators),
+            tuple(stores),
+            tuple(fences),
+            tuple(ordered),
+            tuple(grouped),
         )
         setattr(cls, DECLARATION_ATTR, decl)
         REGISTRY[cls.__name__] = decl

@@ -3,24 +3,53 @@
 Checks the cc-NVM simulator's write-ordering discipline without running
 it: persistent-domain stores (P1), crash-site registry coherence and
 persist-point coverage (P2), atomic-batch bracketing (P3), volatile
-reads on recovery paths (P4) and the scheme contract (P5).  See
-DESIGN.md's persistence-domain section for the rule rationale and the
-baseline workflow.
+reads on recovery paths (P4), the scheme contract (P5), interprocedural
+persist-order dataflow (P6), trace-seam coherence (P7), determinism of
+spec-hashed paths (D0-D2) and baseline justification anchors (B0).
+``--cross-check`` additionally replays a smoke persist trace and diffs
+the dynamically observed persist sites against the statically derived
+set in both directions.  See DESIGN.md's persistence-domain section for
+the rule rationale and the baseline workflow.
 """
 
+from repro.lint.callgraph import CallGraph, CallSite, build_callgraph
+from repro.lint.crosscheck import (
+    CrossCheckReport,
+    cross_check,
+    dynamic_persist_sites,
+    static_persist_sites,
+)
 from repro.lint.findings import RULES, Baseline, Finding, sort_findings
 from repro.lint.model import CodeModel, build_model
-from repro.lint.runner import LintConfig, LintReport, run_lint, write_baseline
+from repro.lint.ordering import FlowAnalysis, OrderingOps, Summary
+from repro.lint.runner import (
+    SCHEMA_VERSION,
+    LintConfig,
+    LintReport,
+    run_lint,
+    write_baseline,
+)
 
 __all__ = [
     "RULES",
+    "SCHEMA_VERSION",
     "Baseline",
+    "CallGraph",
+    "CallSite",
     "CodeModel",
+    "CrossCheckReport",
     "Finding",
+    "FlowAnalysis",
     "LintConfig",
     "LintReport",
+    "OrderingOps",
+    "Summary",
+    "build_callgraph",
     "build_model",
+    "cross_check",
+    "dynamic_persist_sites",
     "run_lint",
     "sort_findings",
+    "static_persist_sites",
     "write_baseline",
 ]

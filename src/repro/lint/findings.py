@@ -25,6 +25,17 @@ RULES: dict[str, str] = {
     "P4": "recovery-path code reads no volatile-domain state "
           "(only the NVM image and persistent TCB registers survive)",
     "P5": "every scheme subclass implements the full SecureNVMScheme contract",
+    "P6": "ordered seams leave no droppable store pending at exit "
+          "(every persistent store is fenced or batched before a "
+          "dependent persist can follow)",
+    "P7": "every persist micro-op is visible to the trace seams "
+          "(mutators call the trace hook; grouped register ops run "
+          "inside balanced combined brackets)",
+    "D0": "spec-hashed paths call no wall-clock/entropy sources",
+    "D1": "spec-hashed paths do not iterate unordered sets "
+          "whose order can escape",
+    "D2": "spec-hashed paths serialize dicts with sort_keys=True",
+    "B0": "every baseline entry cites a DESIGN.md justification anchor",
 }
 
 
@@ -67,8 +78,35 @@ class Finding:
             "symbol": self.symbol,
             "message": self.message,
             "suggestion": self.suggestion,
+            "token": self.token,
             "key": self.key,
         }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Finding":
+        """Inverse of :meth:`to_dict` (the derived ``key`` is checked)."""
+        known = {
+            "rule", "path", "line", "col", "symbol",
+            "message", "suggestion", "token", "key",
+        }
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown finding fields: {sorted(unknown)}")
+        finding = cls(
+            rule=d["rule"],
+            path=d["path"],
+            line=d["line"],
+            col=d["col"],
+            symbol=d["symbol"],
+            message=d["message"],
+            suggestion=d.get("suggestion", ""),
+            token=d.get("token", ""),
+        )
+        if "key" in d and d["key"] != finding.key:
+            raise ValueError(
+                f"finding key mismatch: {d['key']!r} != {finding.key!r}"
+            )
+        return finding
 
 
 def sort_findings(findings: list[Finding]) -> list[Finding]:
@@ -80,25 +118,42 @@ def sort_findings(findings: list[Finding]) -> list[Finding]:
 class Baseline:
     """A checked-in set of intentionally accepted finding keys.
 
-    The file format is one key per line; blank lines and ``#`` comments
-    are ignored.  Every accepted key must be justified in DESIGN.md's
-    persistence-domain section — the baseline records *that* an exception
-    exists, the document records *why*.
+    The file format is one key per line, optionally followed by a
+    justification anchor — ``rule|path|symbol|token #anchor-name`` —
+    naming the DESIGN.md heading (written ``{#anchor-name}``) that
+    argues why the exception is sound.  Blank lines and ``#`` comment
+    lines are ignored.  The baseline records *that* an exception
+    exists, the anchored document records *why*; the B0 rule holds the
+    two together.
     """
 
     path: str | None = None
     keys: frozenset[str] = frozenset()
     matched: set[str] = field(default_factory=set)
+    #: ``key -> anchor name`` for entries carrying a justification.
+    anchors: dict[str, str] = field(default_factory=dict)
+    #: ``key -> 1-based line number`` in the baseline file.
+    lines: dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path) -> "Baseline":
-        keys = []
+        keys: list[str] = []
+        anchors: dict[str, str] = {}
+        lines: dict[str, int] = {}
         with open(path, "r", encoding="utf-8") as handle:
-            for raw in handle:
+            for number, raw in enumerate(handle, start=1):
                 line = raw.strip()
-                if line and not line.startswith("#"):
-                    keys.append(line)
-        return cls(path=str(path), keys=frozenset(keys))
+                if not line or line.startswith("#"):
+                    continue
+                key, _, anchor = line.partition(" #")
+                key = key.strip()
+                keys.append(key)
+                lines.setdefault(key, number)
+                if anchor.strip():
+                    anchors[key] = anchor.strip()
+        return cls(
+            path=str(path), keys=frozenset(keys), anchors=anchors, lines=lines
+        )
 
     def accepts(self, finding: Finding) -> bool:
         """True (and recorded) when *finding* is baselined."""

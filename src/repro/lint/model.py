@@ -30,8 +30,16 @@ from repro.lint.findings import Finding
 #: Call names treated as fault-site instrumentation.
 FAULT_CALL_NAMES = ("_fault", "fault_hook")
 
+#: Call names treated as persist-trace instrumentation (the seams the
+#: crashsim recorder attaches to; rule P7 requires every sanctioned
+#: micro-op of a trace-domain class to pass through one).
+TRACE_CALL_NAMES = ("_trace", "trace_hook")
+
 #: Keyword arguments the persistence decorator accepts.
-_DECL_KWARGS = ("persistent", "volatile", "aka", "mutators")
+_DECL_KWARGS = (
+    "persistent", "volatile", "aka", "mutators",
+    "stores", "fences", "ordered", "grouped",
+)
 
 
 @dataclass(frozen=True)
@@ -43,6 +51,15 @@ class StaticDeclaration:
     volatile: tuple[str, ...] = ()
     aka: tuple[str, ...] = ()
     mutators: tuple[str, ...] = ()
+    #: Droppable persistent-store micro-ops (may be lost behind later
+    #: in-flight writes at a power failure).
+    stores: tuple[str, ...] = ()
+    #: Ordering points: micro-ops that order all earlier stores.
+    fences: tuple[str, ...] = ()
+    #: Seam methods whose stores must be fenced before they return (P6).
+    ordered: tuple[str, ...] = ()
+    #: Register micro-ops that must run inside a combined group (P7).
+    grouped: tuple[str, ...] = ()
 
 
 @dataclass
@@ -60,6 +77,9 @@ class ClassInfo:
     instrumented_methods: frozenset[str] = frozenset()
     #: Method names carrying an ``@abstractmethod`` decorator.
     abstract_methods: frozenset[str] = frozenset()
+    #: Method names whose bodies contain a persist-trace call — these
+    #: micro-ops are visible to the crashsim recorder (rule P7).
+    traced_methods: frozenset[str] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -214,6 +234,14 @@ class CodeModel:
                 for d in fn.decorator_list
             )
         )
+        traced = frozenset(
+            name
+            for name, fn in methods.items()
+            if any(
+                isinstance(n, ast.Call) and call_name(n.func) in TRACE_CALL_NAMES
+                for n in ast.walk(fn)
+            )
+        )
         info = ClassInfo(
             name=node.name,
             path=rel,
@@ -225,6 +253,7 @@ class CodeModel:
             methods=methods,
             instrumented_methods=instrumented,
             abstract_methods=abstract,
+            traced_methods=traced,
         )
         if node.name in self.classes:
             self.problems.append(
@@ -386,6 +415,19 @@ class CodeModel:
         """Does the resolved *method* body carry its own fault-site call?"""
         info = self.resolve_method(cls_name, method)
         return info is not None and method in info.instrumented_methods
+
+    def owner_is_self_traced(self, cls_name: str, method: str) -> bool:
+        """Does the resolved *method* body carry its own trace call?"""
+        info = self.resolve_method(cls_name, method)
+        return info is not None and method in info.traced_methods
+
+    def declaring_classes(self, domain: str) -> list[ClassInfo]:
+        """Classes whose *own* declaration fills the given field."""
+        return [
+            info
+            for info in self.classes.values()
+            if info.decl is not None and getattr(info.decl, domain)
+        ]
 
 
 def build_model(root, base_dir=None) -> CodeModel:

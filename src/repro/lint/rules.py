@@ -380,5 +380,27 @@ def rule_p5(model: CodeModel, config) -> list[Finding]:
     return findings
 
 
-#: The full pass list, in reporting order.
-ALL_RULES = (rule_p0, rule_p1, rule_p2, rule_p3, rule_p4, rule_p5)
+#: The full pass list, in reporting order.  The interprocedural
+#: dataflow rules (P6/P7) and the determinism rules (D0-D2) live in
+#: :mod:`repro.lint.ordering`; they share one call-graph build per run.
+from repro.lint.ordering import (  # noqa: E402  (grouped with the list)
+    rule_d0,
+    rule_d1,
+    rule_d2,
+    rule_p6,
+    rule_p7,
+)
+
+ALL_RULES = (
+    rule_p0,
+    rule_p1,
+    rule_p2,
+    rule_p3,
+    rule_p4,
+    rule_p5,
+    rule_p6,
+    rule_p7,
+    rule_d0,
+    rule_d1,
+    rule_d2,
+)

@@ -7,12 +7,18 @@ so tests can point it at seeded mini-trees.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.lint.findings import RULES, Baseline, Finding, sort_findings
 from repro.lint.model import build_model
+from repro.lint.ordering import DEFAULT_DETERMINISTIC_ENTRIES
 from repro.lint.rules import ALL_RULES
+
+#: Version of the ``--json`` report layout.  Bump when a field is
+#: renamed/removed; adding fields is backward compatible.
+SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -32,6 +38,17 @@ class LintConfig:
     recovery_files: tuple[str, ...] = ("core/recovery.py",)
     #: Root class of the scheme contract (P4 recover methods, P5).
     scheme_root: str = "SecureNVMScheme"
+    #: ``path-suffix::symbol-prefix`` entry patterns for the determinism
+    #: rules (D0-D2); empty disables them.
+    deterministic_entries: tuple[str, ...] = DEFAULT_DETERMINISTIC_ENTRIES
+    #: Scheme seam names used as static entries by ``--cross-check``.
+    cross_check_entries: tuple[str, ...] = (
+        "writeback", "flush", "_on_dirty_meta_evict",
+    )
+    #: DESIGN.md (or equivalent) holding ``{#anchor}`` justifications.
+    #: When set, every baseline entry must carry an anchor that resolves
+    #: into this document (rule B0); ``None`` disables the check.
+    design_path: Path | None = None
 
 
 @dataclass
@@ -45,6 +62,10 @@ class LintReport:
     stale_baseline: list[str] = field(default_factory=list)
     baseline_path: str | None = None
     files_analyzed: int = 0
+    #: Wall-clock analyzer runtime.  Deliberately *excluded* from
+    #: :meth:`to_dict` so ``repro lint --json`` is byte-stable across
+    #: runs; the CLI reports it on stderr and BENCH_lint.json records it.
+    duration_seconds: float = 0.0
 
     def ok(self, strict: bool = False) -> bool:
         """Clean run: no unbaselined findings (strict: no stale entries)."""
@@ -56,6 +77,7 @@ class LintReport:
 
     def to_dict(self) -> dict:
         return {
+            "schema_version": SCHEMA_VERSION,
             "root": self.root,
             "baseline": self.baseline_path,
             "files_analyzed": self.files_analyzed,
@@ -89,17 +111,20 @@ class LintReport:
 
 def run_lint(config: LintConfig) -> LintReport:
     """Build the model, run every rule pass, apply the baseline."""
+    started = time.perf_counter()
     model = build_model(config.root, config.base_dir)
     findings: list[Finding] = []
     for rule in ALL_RULES:
         findings.extend(rule(model, config))
-    findings = sort_findings(findings)
 
     baseline = (
         Baseline.load(config.baseline_path)
         if config.baseline_path is not None and Path(config.baseline_path).exists()
         else Baseline()
     )
+    findings.extend(_baseline_anchor_findings(config, baseline))
+    findings = sort_findings(findings)
+
     report = LintReport(
         root=str(config.root),
         findings=findings,
@@ -112,21 +137,91 @@ def run_lint(config: LintConfig) -> LintReport:
         else:
             report.new.append(finding)
     report.stale_baseline = baseline.stale
+    report.duration_seconds = time.perf_counter() - started
     return report
+
+
+def _baseline_anchor_findings(config: LintConfig, baseline: Baseline) -> list[Finding]:
+    """B0: every baseline entry must cite a resolvable DESIGN.md anchor."""
+    if config.design_path is None or baseline.path is None:
+        return []
+    design_path = Path(config.design_path)
+    design_text = (
+        design_path.read_text(encoding="utf-8") if design_path.exists() else ""
+    )
+    findings = []
+    file_name = Path(baseline.path).name
+    for key in sorted(baseline.keys):
+        parts = key.split("|")
+        symbol = parts[2] if len(parts) >= 3 else key
+        line = baseline.lines.get(key, 1)
+        token = key.replace("|", ":")
+        anchor = baseline.anchors.get(key)
+        if anchor is None:
+            findings.append(
+                Finding(
+                    rule="B0",
+                    path=file_name,
+                    line=line,
+                    col=0,
+                    symbol=symbol,
+                    message=(
+                        f"baseline entry {key} carries no justification "
+                        f"anchor — exceptions must cite the "
+                        f"{design_path.name} section that argues why they "
+                        "are sound"
+                    ),
+                    suggestion=(
+                        "append ' #anchor-name' to the entry and add a "
+                        f"'{{#anchor-name}}' heading in {design_path.name}"
+                    ),
+                    token=f"unanchored:{token}",
+                )
+            )
+        elif f"{{#{anchor}}}" not in design_text:
+            findings.append(
+                Finding(
+                    rule="B0",
+                    path=file_name,
+                    line=line,
+                    col=0,
+                    symbol=symbol,
+                    message=(
+                        f"baseline anchor #{anchor} does not resolve: no "
+                        f"'{{#{anchor}}}' heading in {design_path.name}"
+                    ),
+                    suggestion=(
+                        f"add the heading to {design_path.name} or fix the "
+                        "anchor name"
+                    ),
+                    token=f"dangling:{anchor}",
+                )
+            )
+    return findings
 
 
 def write_baseline(report: LintReport, path: Path) -> int:
     """Write every current finding key to *path*; returns the entry count.
 
     Keys are sorted and deduplicated (several findings can share one
-    line-independent key).
+    line-independent key).  Justification anchors already present in the
+    existing file are preserved; new entries start unanchored (and the
+    B0 rule will demand an anchor when ``design_path`` is configured).
     """
-    keys = sorted({f.key for f in report.findings})
+    path = Path(path)
+    anchors: dict[str, str] = {}
+    if path.exists():
+        anchors = Baseline.load(path).anchors
+    keys = sorted({f.key for f in report.findings if f.rule != "B0"})
+    entries = [
+        f"{key} #{anchors[key]}" if key in anchors else key for key in keys
+    ]
     lines = [
         "# repro lint baseline - accepted persist-order findings.",
-        "# One key per line: rule|path|symbol|token.",
-        "# Every entry must be justified in DESIGN.md (persistence domains).",
-        *keys,
+        "# One entry per line: rule|path|symbol|token [#design-anchor].",
+        "# The anchor names the {#...} heading in DESIGN.md justifying the",
+        "# exception; rule B0 fails entries whose anchor does not resolve.",
+        *entries,
     ]
-    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
     return len(keys)

@@ -1,0 +1,28 @@
+"""The PR-4 Osiris Plus stop-loss bug, distilled (pre-fix shape).
+
+``_post_writeback`` persists the stop-loss counter with a plain WPQ
+write: durable once accepted, but under ADR a later in-flight write can
+oust it, so the stored counter may lag by *more* than the N-update
+stop-loss bound recovery retries against.  The structural rules have
+nothing to object to — the store goes through the sanctioned micro-op,
+no batch is split, no volatile state is read — only the P6 dataflow
+sees the unfenced store trailing the ordered seam's return.
+
+The fixed shape (a one-line atomic batch) lives in
+``ordering_tn/scheme.py::OrderedScheme._post_writeback``.
+"""
+
+
+@persistence(
+    volatile=("_dirty",),
+    aka=("scheme",),
+    ordered=("_post_writeback",),
+)
+class OsirisStopLoss:
+    def _post_writeback(self, now, counter_addr, line, overflowed):
+        if overflowed or line.update_count >= self.update_limit:
+            # BUG (reverted fix): droppable, nothing orders it.
+            self.wpq.write(counter_addr, self.meta.encoded(line))
+            self.meta.cache.clean(counter_addr)
+            return self.controller.post_write(now)
+        return 0

@@ -277,8 +277,12 @@ class TestCommands:
         monkeypatch.chdir(tmp_path)  # no baseline here: finding surfaces
         assert main(["lint", "--json"]) in (0, 1)
         doc = json.loads(capsys.readouterr().out)
-        assert set(doc) >= {"counts", "findings", "rules", "root"}
-        assert set(doc["rules"]) == {"P0", "P1", "P2", "P3", "P4", "P5"}
+        assert set(doc) >= {"counts", "findings", "rules", "root",
+                            "schema_version"}
+        assert set(doc["rules"]) == {
+            "P0", "P1", "P2", "P3", "P4", "P5", "P6", "P7",
+            "D0", "D1", "D2", "B0",
+        }
 
     def test_lint_update_baseline_writes_file(self, capsys, monkeypatch,
                                               tmp_path):

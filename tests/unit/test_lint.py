@@ -345,7 +345,7 @@ class TestRealTree:
         assert report.ok(strict=True), report.render_text()
 
     def test_repo_baseline_entries_are_each_justified(self):
-        """Every baseline key's symbol is discussed in DESIGN.md."""
+        """Every baseline entry cites a DESIGN.md anchor that resolves."""
         if not REPO_BASELINE.exists():
             return
         design = (REPO_SRC.parents[1] / "DESIGN.md").read_text(encoding="utf-8")
@@ -353,7 +353,16 @@ class TestRealTree:
             line = line.strip()
             if not line or line.startswith("#"):
                 continue
-            symbol = line.split("|")[2]
+            entry, _, anchor = line.partition(" #")
+            symbol = entry.split("|")[2]
             assert symbol.split(".")[-1] in design, (
                 f"baseline entry {line!r} lacks a DESIGN.md justification"
+            )
+            assert anchor, (
+                f"baseline entry {line!r} carries no #anchor — rule B0 "
+                "will reject it"
+            )
+            assert f"{{#{anchor}}}" in design, (
+                f"baseline anchor #{anchor} has no {{#{anchor}}} heading "
+                "in DESIGN.md"
             )
