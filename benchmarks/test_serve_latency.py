@@ -1,0 +1,149 @@
+"""Client-observed latency of the simulation service (``repro serve``).
+
+Measures, against a real daemon subprocess on an ephemeral port:
+
+* **cold** — first evaluate submit: the full sweep executes;
+* **warm** — identical resubmit: every cell resolves from the shared
+  cache (``0 executed``), which must complete in under a second;
+* **coalesced rider** — a second client submitting identical work while
+  it runs: admission, coalescing, and the shared terminal result;
+* **sustained throughput** — back-to-back warm submits per second.
+
+Writes the measurements to ``BENCH_serve.json`` at the repo root (the
+committed artifact).  The sweep length defaults to a quarter of
+``CCNVM_BENCH_LENGTH`` so the cold run stays a few seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.client import ServeClient
+
+from benchmarks.common import BENCH_LENGTH, banner
+
+SERVE_LENGTH = int(
+    os.environ.get("CCNVM_SERVE_BENCH_LENGTH", str(max(1000, BENCH_LENGTH // 4)))
+)
+WARM_SUBMITS = int(os.environ.get("CCNVM_SERVE_BENCH_SUBMITS", "20"))
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """A real ``repro serve`` subprocess on its own cache dir and port."""
+    tmp = tempfile.TemporaryDirectory(prefix="serve-bench-")
+    port_file = Path(tmp.name) / "serve.port"
+    log_file = Path(tmp.name) / "serve.log"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--log-file", str(log_file),
+            "--cache-root", str(Path(tmp.name) / "cache"),
+            "--quiet",
+        ],
+    )
+    try:
+        deadline = time.monotonic() + 30
+        while not port_file.exists() or not port_file.read_text().strip():
+            assert proc.poll() is None, "daemon exited during startup"
+            assert time.monotonic() < deadline, "daemon never wrote its port"
+            time.sleep(0.05)
+        port = int(port_file.read_text().strip())
+        yield ServeClient(f"http://127.0.0.1:{port}", timeout=600)
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+        tmp.cleanup()
+
+
+def submit_and_wait(client: ServeClient, client_name: str, length: int) -> tuple[float, dict]:
+    """One full round trip: submit, watch to terminal, fetch the result."""
+    started = time.perf_counter()
+    envelope = client.run(
+        "evaluate", client=client_name, params={"length": length, "seed": 1}
+    )
+    elapsed = time.perf_counter() - started
+    assert envelope["job"]["state"] == "done", envelope["job"]
+    return elapsed, envelope
+
+
+def test_serve_latency(daemon, benchmark):
+    client = daemon
+
+    cold_seconds, cold = submit_and_wait(client, "bench-cold", SERVE_LENGTH)
+    assert cold["job"]["executed"] == cold["job"]["total"] == 40
+
+    warm_seconds, warm = submit_and_wait(client, "bench-warm", SERVE_LENGTH)
+    assert warm["job"]["executed"] == 0
+    assert warm["job"]["cache_hits"] == 40
+    assert warm_seconds < 1.0, (
+        f"warm-cache submit took {warm_seconds:.3f}s (must be < 1s)"
+    )
+
+    # Coalesced rider: submit a fresh (cold) sweep without waiting, then
+    # ride it from a second client while it runs.
+    rider_length = SERVE_LENGTH + 1
+    descriptor = client.submit(
+        "evaluate", client="bench-lead", params={"length": rider_length, "seed": 1}
+    )
+    rider_started = time.perf_counter()
+    rider = client.run(
+        "evaluate", client="bench-rider", params={"length": rider_length, "seed": 1}
+    )
+    coalesced_seconds = time.perf_counter() - rider_started
+    assert rider["job"]["job_id"] == descriptor["job_id"], "rider was not coalesced"
+    assert rider["job"]["coalesced"] >= 1
+
+    # Sustained warm submit rate, with the benchmark fixture timing one
+    # representative round trip as well.
+    benchmark.pedantic(
+        submit_and_wait,
+        args=(client, "bench-sustained", SERVE_LENGTH),
+        rounds=1,
+        iterations=1,
+    )
+    throughput_started = time.perf_counter()
+    for i in range(WARM_SUBMITS):
+        submit_and_wait(client, f"bench-sustained-{i}", SERVE_LENGTH)
+    throughput_wall = time.perf_counter() - throughput_started
+    submits_per_second = WARM_SUBMITS / throughput_wall
+
+    document = {
+        "benchmark": "serve",
+        "config": {
+            "length": SERVE_LENGTH,
+            "seed": 1,
+            "cells": 40,
+            "warm_submits": WARM_SUBMITS,
+        },
+        "latency_seconds": {
+            "cold": round(cold_seconds, 4),
+            "warm": round(warm_seconds, 4),
+            "coalesced_rider": round(coalesced_seconds, 4),
+        },
+        "throughput": {
+            "warm_submits": WARM_SUBMITS,
+            "wall_seconds": round(throughput_wall, 4),
+            "submits_per_second": round(submits_per_second, 2),
+        },
+    }
+    ARTIFACT.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    banner(
+        f"serve latency ({SERVE_LENGTH} refs x 40 cells):\n"
+        f"  cold:            {cold_seconds:8.3f}s\n"
+        f"  warm:            {warm_seconds:8.3f}s\n"
+        f"  coalesced rider: {coalesced_seconds:8.3f}s\n"
+        f"  sustained:       {submits_per_second:8.2f} warm submits/s"
+    )

@@ -47,18 +47,22 @@ def result_from_json(text: str) -> SimulationResult:
     return result_from_dict(json.loads(text))
 
 
-def fig5_bench_to_json(comparisons, run_meta: dict | None = None) -> str:
-    """The ``BENCH_fig5.json`` benchmark artifact.
+def fig5_bench_document(comparisons, run_meta: dict | None = None) -> dict:
+    """The ``BENCH_fig5.json`` document as a plain dict.
 
     Carries the full per-cell results (round-trippable), both normalized
     figure tables, the headline scalars, and whatever orchestration
     metadata (wall time, cache accounting, fingerprint) the caller adds.
+    This is also the result body a ``repro serve`` evaluate job returns,
+    so everything except ``run`` must be a pure function of the matrix —
+    byte-identical whether computed by the CLI, the daemon, or a warm
+    cache replay.
     """
     from repro.analysis.report import headline_numbers, ipc_table, write_traffic_table
 
     ipc = ipc_table(comparisons)
     writes = write_traffic_table(comparisons)
-    document = {
+    return {
         "benchmark": "fig5",
         "workloads": list(comparisons),
         "results": {
@@ -73,7 +77,64 @@ def fig5_bench_to_json(comparisons, run_meta: dict | None = None) -> str:
         "headline": asdict(headline_numbers(comparisons)),
         "run": dict(run_meta or {}),
     }
-    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def fig5_bench_to_json(comparisons, run_meta: dict | None = None) -> str:
+    """Serialized :func:`fig5_bench_document` (the committed artifact)."""
+    return json.dumps(
+        fig5_bench_document(comparisons, run_meta), indent=2, sort_keys=True
+    )
+
+
+def fig5_bench_from_json(text: str) -> dict:
+    """Validated inverse of :func:`fig5_bench_to_json`.
+
+    Rebuilds every per-cell :class:`SimulationResult` (schema check) and
+    recomputes the figure tables and headline from them, verifying the
+    document's derived sections match its raw cells — the round trip the
+    serve wire path and CI rely on.  Returns ``workload -> scheme ->
+    SimulationResult``.
+    """
+    from repro.analysis.report import headline_numbers, ipc_table, write_traffic_table
+    from repro.sim.runner import DesignComparison
+
+    document = json.loads(text)
+    if document.get("benchmark") != "fig5":
+        raise ValueError(f"not a fig5 document: {document.get('benchmark')!r}")
+    # Rebuild in the document's recorded workload order, not JSON's
+    # sorted key order: the table averages sum floats across workloads,
+    # and float addition is order-sensitive in the last bits.
+    workloads = document.get("workloads") or []
+    if sorted(workloads) != sorted(document["results"]):
+        raise ValueError("fig5 document workloads disagree with its results")
+    results = {
+        workload: {
+            scheme: result_from_dict(cell)
+            for scheme, cell in document["results"][workload].items()
+        }
+        for workload in workloads
+    }
+    comparisons = {
+        workload: DesignComparison(workload=workload, results=cells)
+        for workload, cells in results.items()
+    }
+    derived = {
+        "fig5a_ipc": {
+            "rows": ipc_table(comparisons).rows,
+            "averages": ipc_table(comparisons).averages(),
+        },
+        "fig5b_writes": {
+            "rows": write_traffic_table(comparisons).rows,
+            "averages": write_traffic_table(comparisons).averages(),
+        },
+        "headline": asdict(headline_numbers(comparisons)),
+    }
+    for key, expect in derived.items():
+        got = document.get(key)
+        if json.dumps(got, sort_keys=True) != json.dumps(expect, sort_keys=True):
+            raise ValueError(f"fig5 document section {key!r} does not match "
+                             "its own raw cells")
+    return results
 
 
 def table_to_csv(table: FigureTable) -> str:

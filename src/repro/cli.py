@@ -658,9 +658,181 @@ def cmd_runs_gc(args: argparse.Namespace) -> int:
     from repro.runs import ResultCache
 
     cache = ResultCache(args.root)
-    removed, kept = cache.gc(everything=args.all)
-    scope = "all generations" if args.all else "stale generations"
-    print(f"gc ({scope}): removed {removed} entr(y/ies), kept {kept}")
+    swept = cache.gc(
+        everything=args.all,
+        max_generations=args.max_generations,
+        max_bytes=args.max_bytes,
+    )
+    if args.all:
+        scope = "all generations"
+    elif args.max_generations is not None or args.max_bytes is not None:
+        knobs = []
+        if args.max_generations is not None:
+            knobs.append(f"max {args.max_generations} generation(s)")
+        if args.max_bytes is not None:
+            knobs.append(f"max {args.max_bytes} bytes")
+        scope = ", ".join(knobs)
+    else:
+        scope = "stale generations"
+    print(f"gc ({scope}): removed {swept['removed']} entr(y/ies), "
+          f"kept {swept['kept']}, reclaimed {swept['reclaimed_bytes']} bytes")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import DaemonConfig, run_daemon
+
+    config = DaemonConfig(
+        host=args.host,
+        port=None if args.no_tcp else args.port,
+        unix_socket=args.unix_socket,
+        cache_root=args.cache_root,
+        shards=args.shards,
+        quota=args.quota,
+        max_depth=args.max_depth,
+        jobs=args.jobs,
+        max_generations=args.max_generations,
+        max_bytes=args.max_bytes,
+        port_file=args.port_file,
+        log_file=args.log_file,
+        quiet=args.quiet,
+    )
+    return run_daemon(config)
+
+
+def _serve_client(args: argparse.Namespace):
+    from repro.serve import ServeClient
+
+    return ServeClient(args.server)
+
+
+def _print_serve_event(event: dict) -> None:
+    kind = event["event"]
+    data = event["data"]
+    if kind == "progress":
+        print(f"  [{data['done']:>3}/{data['total']}] {data['label']:<42} "
+              f"{data['duration']:6.2f}s  {data['source']}")
+    elif kind == "done":
+        print(f"  {data['summary']}")
+    elif kind == "failed":
+        print(f"  FAILED: {data['job'].get('error', 'unknown error')}")
+    else:
+        print(f"  [{kind}] job {data['job']['job_id']} "
+              f"(shard {data['job']['shard']})")
+
+
+def cmd_client_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeError
+
+    client = _serve_client(args)
+    if args.specs:
+        with open(args.specs) as f:
+            specs = json.load(f)
+        kind, params = "specs", {}
+    else:
+        specs = None
+        kind = "evaluate"
+        params = {"length": args.length, "seed": args.seed}
+        if args.workloads:
+            params["workloads"] = args.workloads
+    try:
+        descriptor = client.submit(
+            kind, client=args.client, priority=args.priority,
+            specs=specs, params=params,
+        )
+    except ServeError as exc:
+        print(f"submit rejected: {exc}", file=sys.stderr)
+        return 1
+    coalesced = descriptor["coalesced"] > 0
+    print(f"job {descriptor['job_id']} {descriptor['state']} "
+          f"(kind={descriptor['kind']}, {descriptor['total']} spec(s), "
+          f"shard {descriptor['shard']}"
+          f"{', coalesced onto a running job' if coalesced else ''})")
+    if args.no_wait:
+        return 0
+    on_event = None if args.quiet else _print_serve_event
+    terminal = None
+    for event in client.watch(descriptor["job_id"]):
+        if on_event is not None:
+            on_event(event)
+        terminal = event
+    if terminal is None:
+        print("event stream ended without a terminal event", file=sys.stderr)
+        return 1
+    job = terminal["data"]["job"]
+    if terminal["event"] == "failed":
+        print(f"job failed: {job.get('error', 'unknown error')}", file=sys.stderr)
+        return 1
+    print(f"result: {job['executed']} executed, {job['cache_hits']} from cache, "
+          f"{job['journal_hits']} from journal, {job['coalesced']} coalesced "
+          f"rider(s)")
+    if args.json:
+        envelope = client.result(descriptor["job_id"])
+        document = envelope["result"]
+        if kind == "evaluate":
+            from repro.analysis.export import fig5_bench_from_json
+
+            text = json.dumps(document, indent=2, sort_keys=True)
+            fig5_bench_from_json(text)  # round-trip check before writing
+        else:
+            text = json.dumps(document, indent=2, sort_keys=True)
+        with open(args.json, "w") as f:
+            f.write(text)
+        print(f"wrote result document to {args.json}")
+    return 0
+
+
+def cmd_client_watch(args: argparse.Namespace) -> int:
+    from repro.serve import ServeError
+
+    client = _serve_client(args)
+    try:
+        terminal = None
+        for event in client.watch(args.job_id):
+            _print_serve_event(event)
+            terminal = event
+    except ServeError as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return 1
+    if terminal is None or terminal["event"] != "done":
+        return 1
+    return 0
+
+
+def cmd_client_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeError
+
+    client = _serve_client(args)
+    try:
+        status = client.status()
+    except (ServeError, OSError) as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    queue = status["queue"]
+    cache = status["cache"]
+    totals = status["totals"]
+    print(f"serve at {args.server}: up {status['timing']['uptime_seconds']}s")
+    print(f"  queue: {queue['in_flight']} in flight over {queue['shards']} "
+          f"shard(s) {queue['depths']}, quota {queue['quota']}/client, "
+          f"depth bound {queue['max_depth']}")
+    if queue["clients"]:
+        held = ", ".join(f"{c}={n}" for c, n in queue["clients"].items())
+        print(f"  clients: {held}")
+    print(f"  jobs: {totals['submitted']} submitted, {totals['coalesced']} "
+          f"coalesced, {totals['completed']} completed, {totals['failed']} "
+          f"failed")
+    stats = cache["stats"]
+    print(f"  cache {cache['root']} (fingerprint {cache['fingerprint']}): "
+          f"{stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['stores']} stores, {stats['gc_reclaimed_bytes']} bytes "
+          f"reclaimed over {stats['gc_runs']} gc run(s)")
     return 0
 
 
@@ -958,7 +1130,97 @@ def build_parser() -> argparse.ArgumentParser:
                           "$CCNVM_CACHE_DIR)")
     rgc.add_argument("--all", action="store_true",
                      help="drop everything, journals and stats included")
+    rgc.add_argument("--max-generations", type=int, default=None, metavar="N",
+                     help="retain the current generation plus the N-1 newest "
+                          "stale ones instead of dropping every stale one")
+    rgc.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                     help="evict oldest entries (stale generations first) "
+                          "until the store fits in B bytes")
     rgc.set_defaults(func=cmd_runs_gc)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived simulation service daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8377,
+                       help="TCP port (0 picks an ephemeral one; see "
+                            "--port-file)")
+    serve.add_argument("--no-tcp", action="store_true",
+                       help="serve only the unix socket")
+    serve.add_argument("--unix-socket", default=None, metavar="PATH",
+                       help="also (or only, with --no-tcp) listen on a unix "
+                            "domain socket")
+    serve.add_argument("--cache-root", default=None, metavar="DIR",
+                       help="shared result cache (default .repro-cache or "
+                            "$CCNVM_CACHE_DIR); one daemon per cache root")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="work-queue shards = concurrently executing jobs")
+    serve.add_argument("--quota", type=int, default=4,
+                       help="max queued+running jobs per client (429 beyond)")
+    serve.add_argument("--max-depth", type=int, default=64,
+                       help="global admission bound on jobs in flight (503 "
+                            "beyond)")
+    serve.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="worker processes per executing job")
+    serve.add_argument("--max-generations", type=int, default=None, metavar="N",
+                       help="evict the cache down to N generations after "
+                            "each job")
+    serve.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                       help="evict the cache down to B bytes after each job")
+    serve.add_argument("--port-file", default=None, metavar="FILE",
+                       help="write the bound TCP port here once listening")
+    serve.add_argument("--log-file", default=None, metavar="FILE",
+                       help="append the daemon log here")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress the stderr log")
+    serve.set_defaults(func=cmd_serve)
+
+    client = sub.add_parser(
+        "client", help="thin clients for a running `repro serve` daemon"
+    )
+    clsub = client.add_subparsers(dest="client_command", required=True)
+
+    def add_client_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--server", default="http://127.0.0.1:8377",
+                       metavar="URL",
+                       help="http://host:port or unix:///path "
+                            "(default http://127.0.0.1:8377)")
+
+    csubmit = clsub.add_parser(
+        "submit", help="submit a job (Figure 5 evaluate, or a spec file)"
+    )
+    add_client_options(csubmit)
+    csubmit.add_argument("--length", type=int, default=4000)
+    csubmit.add_argument("--seed", type=int, default=1)
+    csubmit.add_argument("--workloads", nargs="+", metavar="WL",
+                         choices=SPEC_ORDER, default=None,
+                         help="restrict the evaluate matrix (default: all)")
+    csubmit.add_argument("--specs", metavar="FILE", default=None,
+                         help="submit raw RunSpec dicts from a JSON list "
+                              "instead of the evaluate matrix")
+    csubmit.add_argument("--client", default="cli", metavar="NAME",
+                         help="client identity for quota accounting")
+    csubmit.add_argument("--priority", type=int, default=0,
+                         help="lower runs earlier within a shard")
+    csubmit.add_argument("--no-wait", action="store_true",
+                         help="return after admission; do not stream progress")
+    csubmit.add_argument("--quiet", action="store_true",
+                         help="suppress per-event progress lines")
+    csubmit.add_argument("--json", metavar="FILE", default=None,
+                         help="write the result document (for evaluate: the "
+                              "BENCH_fig5-shaped document) to FILE")
+    csubmit.set_defaults(func=cmd_client_submit)
+
+    cwatch = clsub.add_parser("watch", help="stream a job's progress events")
+    add_client_options(cwatch)
+    cwatch.add_argument("job_id")
+    cwatch.set_defaults(func=cmd_client_watch)
+
+    cstatus = clsub.add_parser("status", help="daemon queue/cache inventory")
+    add_client_options(cstatus)
+    cstatus.add_argument("--json", action="store_true",
+                         help="emit the machine-readable status document")
+    cstatus.set_defaults(func=cmd_client_status)
 
     lint = sub.add_parser("lint", help="persistence-domain static analysis")
     lint.add_argument("--root", default=None, metavar="DIR",

@@ -73,6 +73,9 @@ DEFAULT_DETERMINISTIC_ENTRIES = (
     "runs/pool.py::_execute_",
     "crashsim/enumerate.py::CrashState.image_hash",
     "crashsim/enumerate.py::canonical_value",
+    # The serve wire path: every body crossing the client/server boundary
+    # must serialize byte-stably (coalesced clients cmp their payloads).
+    "serve/protocol.py::",
 )
 
 #: Consumers that are insensitive to iteration order: a generator over

@@ -68,11 +68,22 @@ def code_fingerprint(root: Path | None = None) -> str:
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
-    """Write *text* to *path* via a same-directory rename (no torn files)."""
+    """Write *text* to *path* via a same-directory rename (no torn files).
+
+    Safe under concurrent writers of the *same* path: every writer gets
+    its own ``mkstemp`` name (two processes can never interleave into
+    one temp file), the bytes are fsynced before the rename, and
+    ``os.replace`` is atomic — a reader observes either some writer's
+    complete document or the previous one, never a mixture.  On a true
+    race the last rename wins, which is correct for a content-addressed
+    store: both writers were storing the same content-equivalent entry.
+    """
     fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -166,7 +177,14 @@ class ResultCache:
             "spec": spec.to_dict(),
             "payload": payload,
         }
-        _atomic_write_text(path, json.dumps(envelope, sort_keys=True, indent=1))
+        text = json.dumps(envelope, sort_keys=True, indent=1)
+        try:
+            _atomic_write_text(path, text)
+        except FileNotFoundError:
+            # A concurrent gc removed the generation directory between
+            # mkdir and mkstemp; recreate it and retry once.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write_text(path, text)
         self.stores += 1
         return path
 
@@ -182,6 +200,9 @@ class ResultCache:
             "misses": int(data.get("misses", 0)),
             "stores": int(data.get("stores", 0)),
             "flushes": int(data.get("flushes", 0)),
+            "gc_runs": int(data.get("gc_runs", 0)),
+            "gc_removed": int(data.get("gc_removed", 0)),
+            "gc_reclaimed_bytes": int(data.get("gc_reclaimed_bytes", 0)),
         }
 
     def flush_stats(self) -> dict:
@@ -236,37 +257,128 @@ class ResultCache:
             "session": pending,
         }
 
-    def gc(self, everything: bool = False) -> tuple[int, int]:
-        """Drop stale-fingerprint generations (or *everything*).
+    def gc(
+        self,
+        everything: bool = False,
+        max_generations: int | None = None,
+        max_bytes: int | None = None,
+    ) -> dict:
+        """Prune the store; returns ``{removed, kept, reclaimed_bytes}``.
 
-        Returns ``(entries_removed, entries_kept)``.  Journals are removed
-        alongside the generations they belong to only under *everything*
-        (a stale journal is harmless — its fingerprint header stops it
-        from resuming the wrong code).
+        Without knobs this drops every stale-fingerprint generation (the
+        historical behaviour).  ``max_generations=N`` instead *retains* a
+        multi-generation cache: the current generation plus the N-1 most
+        recently written stale ones survive, older generations go.
+        ``max_bytes=B`` then evicts oldest-first — stale generations'
+        entries before current ones — until the store fits in B bytes.
+        Orphaned ``*.tmp`` files from crashed writers are always swept.
+
+        Journals are removed alongside the generations they belong to
+        only under *everything* (a stale journal is harmless — its
+        fingerprint header stops it from resuming the wrong code).
+        Reclaimed bytes accumulate in ``stats.json`` (``gc_runs`` /
+        ``gc_removed`` / ``gc_reclaimed_bytes``), which is what
+        ``repro runs status --json`` reports.
         """
-        removed = kept = 0
-        if self.results_dir.is_dir():
-            for gen_dir in sorted(self.results_dir.iterdir()):
-                if not gen_dir.is_dir():
+        removed = kept = reclaimed = 0
+
+        def unlink(path: Path) -> tuple[int, int]:
+            """Remove one file; returns (entries, bytes) it was worth."""
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                return 0, 0
+            return 1, size
+
+        gen_dirs = (
+            [d for d in sorted(self.results_dir.iterdir()) if d.is_dir()]
+            if self.results_dir.is_dir()
+            else []
+        )
+        for gen_dir in gen_dirs:
+            for tmp in gen_dir.glob("*.tmp"):
+                _, size = unlink(tmp)
+                reclaimed += size
+
+        if everything:
+            doomed = set(d.name for d in gen_dirs)
+        elif max_generations is None and max_bytes is None:
+            doomed = {d.name for d in gen_dirs if d.name != self.fingerprint}
+        else:
+            # Multi-generation retention: keep the current generation
+            # plus the most recently touched stale ones, newest first.
+            stale = sorted(
+                (d for d in gen_dirs if d.name != self.fingerprint),
+                key=lambda d: d.stat().st_mtime,
+                reverse=True,
+            )
+            budget = (
+                len(stale)
+                if max_generations is None
+                else max(0, max_generations - 1)
+            )
+            doomed = {d.name for d in stale[budget:]}
+
+        survivors: list[Path] = []
+        for gen_dir in gen_dirs:
+            entries = list(gen_dir.glob("*.json"))
+            if gen_dir.name in doomed:
+                for path in entries:
+                    n, size = unlink(path)
+                    removed += n
+                    reclaimed += size
+                try:
+                    gen_dir.rmdir()
+                except OSError:
+                    pass
+            else:
+                survivors.extend(entries)
+
+        if max_bytes is not None and not everything:
+            sized = []
+            total = 0
+            for path in survivors:
+                try:
+                    stat = path.stat()
+                except OSError:
                     continue
-                entries = list(gen_dir.glob("*.json"))
-                if everything or gen_dir.name != self.fingerprint:
-                    for path in entries:
-                        path.unlink()
-                        removed += 1
-                    try:
-                        gen_dir.rmdir()
-                    except OSError:
-                        pass
-                else:
-                    kept += len(entries)
+                current = path.parent.name == self.fingerprint
+                sized.append((current, stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            # Oldest stale entries first, oldest current entries last.
+            sized.sort(key=lambda item: (item[0], item[1]))
+            evicted = set()
+            for current, _mtime, size, path in sized:
+                if total <= max_bytes:
+                    break
+                n, got = unlink(path)
+                removed += n
+                reclaimed += got
+                total -= size
+                evicted.add(path)
+            survivors = [p for p in survivors if p not in evicted]
+
+        kept = len(survivors)
+
         if everything:
             if self.journal_dir.is_dir():
                 for path in self.journal_dir.glob("*.jsonl"):
-                    path.unlink()
+                    _, size = unlink(path)
+                    reclaimed += size
             try:
                 self.stats_path.unlink()
             except OSError:
                 pass
             self.cumulative = self._read_stats()
-        return removed, kept
+        else:
+            stats = self._read_stats()
+            stats["gc_runs"] += 1
+            stats["gc_removed"] += removed
+            stats["gc_reclaimed_bytes"] += reclaimed
+            self.root.mkdir(parents=True, exist_ok=True)
+            _atomic_write_text(
+                self.stats_path, json.dumps(stats, sort_keys=True, indent=1)
+            )
+            self.cumulative = stats
+        return {"removed": removed, "kept": kept, "reclaimed_bytes": reclaimed}

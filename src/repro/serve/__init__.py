@@ -1,0 +1,43 @@
+"""Long-lived simulation service: sharded queue, shared cache, streaming.
+
+The subsystem promotes the run orchestrator (:mod:`repro.runs`) from a
+per-invocation library to a persistent daemon so a fleet of clients
+shares one warm cache:
+
+* :mod:`repro.serve.protocol` — versioned, byte-stable JSON wire format
+  (covered by the lint determinism rules) plus SSE framing;
+* :mod:`repro.serve.queue` — sharded priority queue with per-client
+  quotas and global admission control;
+* :mod:`repro.serve.service` — request coalescing on content keys, the
+  shared multi-generation :class:`~repro.runs.cache.ResultCache` with
+  eviction, execution through cache → journal → pool, and per-job event
+  streams;
+* :mod:`repro.serve.http` — the asyncio HTTP / unix-socket front-end;
+* :mod:`repro.serve.client` — the blocking thin client the CLI uses;
+* :mod:`repro.serve.lock` — the one-daemon-per-cache-root pidfile lock;
+* :mod:`repro.serve.daemon` — the ``repro serve`` entry point.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import DaemonConfig, run_daemon
+from repro.serve.lock import DaemonLock, DaemonRunningError
+from repro.serve.protocol import SCHEMA_VERSION, ProtocolError
+from repro.serve.queue import QueueFullError, QuotaExceededError, ShardedQueue
+from repro.serve.service import Job, SimulationService, job_key
+
+__all__ = [
+    "DaemonConfig",
+    "DaemonLock",
+    "DaemonRunningError",
+    "Job",
+    "ProtocolError",
+    "QueueFullError",
+    "QuotaExceededError",
+    "SCHEMA_VERSION",
+    "ServeClient",
+    "ServeError",
+    "ShardedQueue",
+    "SimulationService",
+    "job_key",
+    "run_daemon",
+]

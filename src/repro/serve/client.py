@@ -1,0 +1,180 @@
+"""Thin blocking client for the simulation service.
+
+The CLI is one consumer of this module; tests are another.  It speaks
+the same one-request-per-connection HTTP/1.1 the server emits, over TCP
+(``http://host:port``) or a unix socket (``unix:///path``), with no
+third-party dependency — a plain socket, a tiny response parser, and
+the :mod:`repro.serve.protocol` body codecs.
+
+``watch`` is a generator over the job's server-sent-events stream: it
+yields every event (history replay included) and returns after the
+terminal ``done``/``failed`` event, so ``for event in client.watch(id)``
+is a complete progress loop.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterator
+
+from repro.serve.protocol import (
+    is_terminal_event,
+    sse_parse,
+    submit_body,
+    wire_decode,
+    wire_encode,
+)
+
+#: Seconds a control request (status/submit/job/result) may take.
+DEFAULT_TIMEOUT = 60.0
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response, carrying the server's error document."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"server returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """One service endpoint, addressed as ``http://host:port`` or
+    ``unix:///path/to/socket``."""
+
+    def __init__(self, server: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+        self.server = server
+        self.timeout = timeout
+        if server.startswith("unix://"):
+            self._unix_path = server[len("unix://"):]
+            self._addr = None
+        elif server.startswith("http://"):
+            rest = server[len("http://"):].rstrip("/")
+            host, _, port = rest.partition(":")
+            if not port:
+                raise ValueError(f"{server!r} needs an explicit port")
+            self._unix_path = None
+            self._addr = (host, int(port))
+        else:
+            raise ValueError(
+                f"unsupported server address {server!r} "
+                "(use http://host:port or unix:///path)"
+            )
+
+    # -- transport -----------------------------------------------------------
+
+    def _connect(self, timeout: float | None) -> socket.socket:
+        if self._unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(self._unix_path)
+        else:
+            sock = socket.create_connection(self._addr, timeout=timeout)
+        return sock
+
+    def _send(self, sock: socket.socket, method: str, path: str,
+              body: dict | None) -> None:
+        payload = wire_encode(body) if body is not None else b""
+        host = "localhost" if self._unix_path is not None else self._addr[0]
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            "Connection: close\r\n"
+        )
+        if payload:
+            head += (
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+            )
+        sock.sendall(head.encode("latin-1") + b"\r\n" + payload)
+
+    @staticmethod
+    def _read_head(reader) -> tuple[int, dict]:
+        status_line = reader.readline().decode("latin-1").strip()
+        try:
+            _, code, _ = status_line.split(" ", 2)
+            status = int(code)
+        except ValueError as exc:
+            raise ServeError(0, f"bad status line {status_line!r}") from exc
+        headers = {}
+        while True:
+            line = reader.readline().decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers
+
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 timeout: float | None = None) -> dict:
+        sock = self._connect(timeout or self.timeout)
+        try:
+            self._send(sock, method, path, body)
+            reader = sock.makefile("rb")
+            status, headers = self._read_head(reader)
+            length = headers.get("content-length")
+            raw = reader.read(int(length)) if length is not None else reader.read()
+        finally:
+            sock.close()
+        document = wire_decode(raw)
+        if status >= 400:
+            raise ServeError(status, document.get("error", raw.decode()))
+        return document
+
+    # -- the API -------------------------------------------------------------
+
+    def status(self) -> dict:
+        return self._request("GET", "/v1/status")
+
+    def submit(self, kind: str, client: str = "cli", priority: int = 0,
+               specs: list[dict] | None = None,
+               params: dict | None = None) -> dict:
+        return self._request(
+            "POST",
+            "/v1/submit",
+            submit_body(kind, client=client, priority=priority,
+                        specs=specs, params=params),
+        )
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/v1/shutdown")
+
+    def watch(self, job_id: str, timeout: float | None = None) -> Iterator[dict]:
+        """Yield the job's events; returns after the terminal event.
+
+        *timeout* bounds the wait for each individual event, not the
+        whole stream (a cold sweep can stream for minutes).
+        """
+        sock = self._connect(timeout)
+        try:
+            self._send(sock, "GET", f"/v1/jobs/{job_id}/events", None)
+            reader = sock.makefile("rb")
+            status, headers = self._read_head(reader)
+            if status >= 400:
+                raw = reader.read()
+                document = wire_decode(raw) if raw else {}
+                raise ServeError(status, document.get("error", ""))
+            for event in sse_parse(reader):
+                yield event
+                if is_terminal_event(event):
+                    return
+        finally:
+            sock.close()
+
+    def run(self, kind: str, client: str = "cli", priority: int = 0,
+            specs: list[dict] | None = None, params: dict | None = None,
+            on_event=None, timeout: float | None = None) -> dict:
+        """Submit, watch to completion, and return the result envelope."""
+        descriptor = self.submit(
+            kind, client=client, priority=priority, specs=specs, params=params
+        )
+        for event in self.watch(descriptor["job_id"], timeout=timeout):
+            if on_event is not None:
+                on_event(event)
+        return self.result(descriptor["job_id"])

@@ -1,0 +1,131 @@
+"""Daemon entry point: lock, listeners, signals, graceful shutdown.
+
+``repro serve`` builds a :class:`DaemonConfig` from its flags and calls
+:func:`run_daemon`, which
+
+1. takes the cache directory's pidfile lock (a second daemon on the
+   same cache root is refused with a clear error; a stale lock from a
+   SIGKILLed daemon is broken and its sweeps later resume from their
+   journals);
+2. starts the :class:`~repro.serve.service.SimulationService` shard
+   workers and the TCP and/or unix-socket listeners;
+3. optionally writes the bound TCP port to ``port_file`` (tests and CI
+   bind port 0 and discover the ephemeral port there);
+4. waits for SIGINT/SIGTERM or a ``POST /v1/shutdown`` and tears down
+   in reverse order, releasing the lock last.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serve.http import HttpServer
+from repro.serve.lock import DaemonLock, DaemonRunningError
+from repro.serve.service import SimulationService
+
+
+@dataclass
+class DaemonConfig:
+    """Everything ``repro serve`` can configure."""
+
+    host: str = "127.0.0.1"
+    port: int | None = 8377
+    unix_socket: str | None = None
+    cache_root: str | None = None
+    shards: int = 2
+    quota: int = 4
+    max_depth: int = 64
+    jobs: int = 1
+    max_generations: int | None = None
+    max_bytes: int | None = None
+    port_file: str | None = None
+    log_file: str | None = None
+    quiet: bool = False
+
+
+def _make_logger(config: DaemonConfig):
+    handle = None
+    if config.log_file:
+        handle = open(config.log_file, "a", encoding="utf-8")
+
+    def log(line: str) -> None:
+        if handle is not None:
+            handle.write(line + "\n")
+            handle.flush()
+        if not config.quiet:
+            print(f"[serve] {line}", file=sys.stderr, flush=True)
+
+    return log
+
+
+async def _serve(config: DaemonConfig, service: SimulationService, log) -> int:
+    service.start()
+    server = HttpServer(service, log=log)
+    bound_port = None
+    if config.port is not None:
+        bound_port = await server.listen_tcp(config.host, config.port)
+        log(f"listening on http://{config.host}:{bound_port}")
+    if config.unix_socket:
+        await server.listen_unix(config.unix_socket)
+        log(f"listening on unix://{config.unix_socket}")
+    if config.port_file and bound_port is not None:
+        Path(config.port_file).write_text(f"{bound_port}\n", encoding="utf-8")
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):
+            loop.add_signal_handler(signum, stop.set)
+
+    stopper = asyncio.create_task(server.stop_requested.wait())
+    waiter = asyncio.create_task(stop.wait())
+    done, pending = await asyncio.wait(
+        (stopper, waiter), return_when=asyncio.FIRST_COMPLETED
+    )
+    for task in pending:
+        task.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await task
+    log("shutting down")
+    await server.close()
+    await service.stop()
+    if config.unix_socket:
+        with contextlib.suppress(OSError):
+            os.unlink(config.unix_socket)
+    return 0
+
+
+def run_daemon(config: DaemonConfig) -> int:
+    """Run the service until stopped; returns a process exit code."""
+    log = _make_logger(config)
+    service = SimulationService(
+        cache_root=config.cache_root,
+        shards=config.shards,
+        quota=config.quota,
+        max_depth=config.max_depth,
+        jobs=config.jobs,
+        max_generations=config.max_generations,
+        max_bytes=config.max_bytes,
+        log=log,
+    )
+    try:
+        lock = DaemonLock(service.cache.root).acquire()
+    except DaemonRunningError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    log(
+        f"daemon pid {os.getpid()} serving cache {service.cache.root} "
+        f"(fingerprint {service.cache.fingerprint}, "
+        f"{config.shards} shard(s), quota {config.quota})"
+    )
+    try:
+        return asyncio.run(_serve(config, service, log))
+    finally:
+        lock.release()
+        log("lock released")

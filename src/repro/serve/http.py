@@ -1,0 +1,224 @@
+"""Minimal asyncio HTTP/1.1 front-end for the simulation service.
+
+No web framework: the protocol surface is five routes with JSON bodies
+plus one server-sent-events stream, small enough that a hand-rolled
+parser over ``asyncio`` streams is both dependency-free and easy to
+audit.  Every connection serves exactly one request (``Connection:
+close``), which keeps the state machine trivial and is plenty for a
+cache-warm service where a request is one round trip.
+
+Routes (all bodies are :mod:`repro.serve.protocol` documents):
+
+* ``GET  /v1/status`` — queue/cache/job inventory;
+* ``POST /v1/submit`` — admit or coalesce a job (429 over quota, 503
+  when the queue is full);
+* ``GET  /v1/jobs/<id>`` — one job's descriptor;
+* ``GET  /v1/jobs/<id>/result`` — the terminal result envelope;
+* ``GET  /v1/jobs/<id>/events`` — SSE: full history replay, then live
+  events until the terminal ``done``/``failed`` event;
+* ``POST /v1/shutdown`` — graceful stop (used by tests and the CLI).
+
+The same handler serves TCP and unix-domain listeners.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve.protocol import (
+    ProtocolError,
+    error_body,
+    is_terminal_event,
+    sse_format,
+    wire_decode,
+    wire_encode,
+)
+from repro.serve.queue import QueueFullError, QuotaExceededError
+from repro.serve.service import SimulationService
+
+#: Largest accepted request body (a specs submit of a few thousand cells).
+MAX_BODY = 16 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpServer:
+    """One service, any number of TCP/unix listeners."""
+
+    def __init__(self, service: SimulationService, log=None) -> None:
+        self.service = service
+        self.log = log or (lambda line: None)
+        self.servers: list[asyncio.AbstractServer] = []
+        self.stop_requested = asyncio.Event()
+
+    # -- listeners -----------------------------------------------------------
+
+    async def listen_tcp(self, host: str, port: int) -> int:
+        server = await asyncio.start_server(self._connection, host, port)
+        self.servers.append(server)
+        return server.sockets[0].getsockname()[1]
+
+    async def listen_unix(self, path: str) -> None:
+        server = await asyncio.start_unix_server(self._connection, path)
+        self.servers.append(server)
+
+    async def close(self) -> None:
+        for server in self.servers:
+            server.close()
+        for server in self.servers:
+            await server.wait_closed()
+        self.servers = []
+
+    # -- the request cycle ---------------------------------------------------
+
+    async def _connection(self, reader, writer) -> None:
+        try:
+            await self._handle(reader, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-response
+        except Exception as exc:  # noqa: BLE001 - the daemon must survive
+            self.log(f"handler error: {type(exc).__name__}: {exc}")
+            try:
+                await self._respond(writer, 500, error_body(500, "internal error"))
+            except Exception:  # noqa: BLE001
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:  # noqa: BLE001
+                pass
+
+    async def _handle(self, reader, writer) -> None:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            await self._respond(writer, 400, error_body(400, "bad request line"))
+            return
+        headers = {}
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY:
+            await self._respond(writer, 413, error_body(413, "body too large"))
+            return
+        body = await reader.readexactly(length) if length else b""
+        await self._route(writer, method.upper(), target.split("?", 1)[0], body)
+
+    async def _route(self, writer, method: str, path: str, body: bytes) -> None:
+        parts = [p for p in path.split("/") if p]
+        if len(parts) < 2 or parts[0] != "v1":
+            await self._respond(writer, 404, error_body(404, f"no route {path}"))
+            return
+        if parts[1] == "status" and len(parts) == 2:
+            if method != "GET":
+                await self._respond(writer, 405, error_body(405, "GET only"))
+                return
+            await self._respond(writer, 200, self.service.status())
+            return
+        if parts[1] == "submit" and len(parts) == 2:
+            if method != "POST":
+                await self._respond(writer, 405, error_body(405, "POST only"))
+                return
+            await self._submit(writer, body)
+            return
+        if parts[1] == "shutdown" and len(parts) == 2:
+            if method != "POST":
+                await self._respond(writer, 405, error_body(405, "POST only"))
+                return
+            await self._respond(writer, 200, {"schema_version": 1, "stopping": True})
+            self.stop_requested.set()
+            return
+        if parts[1] == "jobs" and len(parts) in (3, 4):
+            job = self.service.job(parts[2])
+            if job is None:
+                await self._respond(
+                    writer, 404, error_body(404, f"unknown job {parts[2]!r}")
+                )
+                return
+            if len(parts) == 3:
+                await self._respond(writer, 200, job.descriptor())
+                return
+            if parts[3] == "result":
+                if job.result is None:
+                    await self._respond(
+                        writer,
+                        404,
+                        error_body(404, f"job {job.job_id} has no result yet"),
+                    )
+                    return
+                await self._respond(writer, 200, job.result)
+                return
+            if parts[3] == "events":
+                await self._stream_events(writer, job)
+                return
+        await self._respond(writer, 404, error_body(404, f"no route {path}"))
+
+    async def _submit(self, writer, body: bytes) -> None:
+        try:
+            descriptor = self.service.submit(wire_decode(body))
+        except ProtocolError as exc:
+            await self._respond(writer, 400, error_body(400, str(exc)))
+            return
+        except QuotaExceededError as exc:
+            await self._respond(writer, 429, error_body(429, str(exc)))
+            return
+        except QueueFullError as exc:
+            await self._respond(writer, 503, error_body(503, str(exc)))
+            return
+        await self._respond(writer, 200, descriptor)
+
+    # -- responses -----------------------------------------------------------
+
+    async def _respond(self, writer, status: int, body: dict) -> None:
+        payload = wire_encode(body)
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+
+    async def _stream_events(self, writer, job) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: text/event-stream\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        history, live = self.service.subscribe(job)
+        terminal_seen = False
+        try:
+            for event in history:
+                writer.write(sse_format(event))
+                terminal_seen = terminal_seen or is_terminal_event(event)
+            await writer.drain()
+            while live is not None and not terminal_seen:
+                event = await live.get()
+                writer.write(sse_format(event))
+                await writer.drain()
+                terminal_seen = is_terminal_event(event)
+        finally:
+            if live is not None:
+                self.service.unsubscribe(job, live)

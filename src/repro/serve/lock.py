@@ -1,0 +1,120 @@
+"""Single-daemon pidfile lock over a cache directory.
+
+The service owns its cache root's journals while it runs: two daemons
+journaling the same sweeps into the same ``.repro-cache`` would
+interleave appends and double-execute coalesced work.  The lock is a
+pidfile created with ``O_CREAT | O_EXCL`` (atomic on POSIX) holding the
+daemon's pid; a second daemon finds the file, checks whether that pid
+is still alive, and either refuses loudly (live writer) or breaks the
+stale lock and takes over (the first daemon was SIGKILLed and its
+sweeps resume from their journals).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.common.persistence import persistence
+
+#: Lock file name inside the cache root.
+LOCK_NAME = "serve.lock"
+
+
+class DaemonRunningError(RuntimeError):
+    """A live daemon already holds the cache directory."""
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether *pid* names a live process we could signal."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # alive, owned by someone else
+    return True
+
+
+@persistence(
+    persistent=("path",),
+    volatile=("held",),
+    aka=("daemon_lock",),
+    mutators=("acquire", "release"),
+)
+class DaemonLock:
+    """Pidfile lock: at most one live daemon per cache root.
+
+    ``path`` names the on-disk pidfile (it survives a crash — that is
+    the point: stale-lock detection is the recovery path); ``held``
+    only tracks whether *this* process owns it.
+    """
+
+    def __init__(self, root: Path | str, pid: int | None = None) -> None:
+        self.root = Path(root)
+        self.path = self.root / LOCK_NAME
+        self.pid = os.getpid() if pid is None else pid
+        self.held = False
+
+    def holder(self) -> int | None:
+        """The pid recorded in the lock file, or ``None`` if absent/torn."""
+        try:
+            return int(self.path.read_text(encoding="utf-8").strip())
+        except (OSError, ValueError):
+            return None
+
+    def acquire(self) -> "DaemonLock":
+        """Take the lock or raise :class:`DaemonRunningError`.
+
+        A stale lock (recorded pid no longer alive, or an unreadable
+        file) is broken and re-acquired; losing the re-acquire race to
+        another starting daemon surfaces as the same loud error.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        for _ in range(2):
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                holder = self.holder()
+                if holder is not None and _pid_alive(holder):
+                    raise DaemonRunningError(
+                        f"a daemon (pid {holder}) already serves cache "
+                        f"directory {self.root} — stop it first, or point "
+                        "this one at a different --cache-root"
+                    )
+                # Stale: the recorded process is gone. Break the lock and
+                # retry the exclusive create exactly once.
+                try:
+                    self.path.unlink()
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(f"{self.pid}\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            self.held = True
+            return self
+        raise DaemonRunningError(
+            f"could not acquire {self.path}: lost the lock race to a "
+            "concurrently starting daemon"
+        )
+
+    def release(self) -> None:
+        """Drop the lock (only if this process holds it)."""
+        if not self.held:
+            return
+        if self.holder() == self.pid:
+            try:
+                self.path.unlink()
+            except OSError:
+                pass
+        self.held = False
+
+    def __enter__(self) -> "DaemonLock":
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -1,0 +1,218 @@
+"""Versioned JSON wire format for the simulation service.
+
+Every body that crosses the client/server boundary — submit requests,
+job descriptors, progress events, result envelopes, error documents —
+is a plain dict carrying ``schema_version`` and is serialized through
+:func:`wire_encode`: canonical JSON with sorted keys and no incidental
+whitespace.  Two servers (or one server asked twice) answering the same
+question therefore produce byte-identical bodies, which is what the CI
+smoke job and the coalescing tests ``cmp`` against.
+
+This module is on the determinism-lint path (rules D0–D2 cover it like
+the spec-hash code): nothing here may consult wall clocks, entropy or
+unordered iteration whose order can escape into a payload.  Timing
+lives in the explicitly non-stable ``"timing"`` key that
+:func:`stable_result_body` strips.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+#: Wire schema version; bump on any incompatible body change.
+SCHEMA_VERSION = 1
+
+#: Job lifecycle states, in order.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Event kinds a watcher can receive; ``done``/``failed`` are terminal.
+EVENT_KINDS = ("queued", "started", "progress", "done", "failed")
+
+#: Request kinds ``POST /v1/submit`` accepts.
+SUBMIT_KINDS = ("specs", "evaluate")
+
+
+class ProtocolError(ValueError):
+    """A body that does not follow the wire schema."""
+
+
+def wire_encode(body: dict) -> bytes:
+    """The one serialization for wire bodies: sorted keys, compact."""
+    return (json.dumps(body, sort_keys=True, separators=(",", ":")) + "\n").encode()
+
+
+def wire_decode(data: bytes | str) -> dict:
+    """Parse a wire body and check its schema version."""
+    try:
+        body = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"body is not JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ProtocolError(f"body must be an object, got {type(body).__name__}")
+    version = body.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ProtocolError(
+            f"wire schema {version!r} is not the supported {SCHEMA_VERSION!r}"
+        )
+    return body
+
+
+def _stamp(body: dict) -> dict:
+    body["schema_version"] = SCHEMA_VERSION
+    return body
+
+
+# ---------------------------------------------------------------------------
+# request / response bodies
+# ---------------------------------------------------------------------------
+
+
+def submit_body(
+    kind: str,
+    client: str = "anonymous",
+    priority: int = 0,
+    specs: list[dict] | None = None,
+    params: dict | None = None,
+) -> dict:
+    """A ``POST /v1/submit`` request body.
+
+    * ``kind="specs"`` — ``specs`` is a list of RunSpec dicts, executed
+      verbatim; the result maps spec hash to payload.
+    * ``kind="evaluate"`` — ``params`` carries ``length``/``seed`` (and
+      optionally ``workloads``); the server expands the Figure 5 matrix
+      and the result is the full ``BENCH_fig5.json`` document.
+    """
+    if kind not in SUBMIT_KINDS:
+        raise ProtocolError(f"unknown submit kind {kind!r}; choose from {SUBMIT_KINDS}")
+    return _stamp(
+        {
+            "kind": kind,
+            "client": client,
+            "priority": int(priority),
+            "specs": list(specs or []),
+            "params": dict(params or {}),
+        }
+    )
+
+
+def validate_submit(body: dict) -> dict:
+    """Check a decoded submit body; returns it normalized."""
+    kind = body.get("kind")
+    if kind not in SUBMIT_KINDS:
+        raise ProtocolError(f"unknown submit kind {kind!r}; choose from {SUBMIT_KINDS}")
+    client = body.get("client") or "anonymous"
+    if not isinstance(client, str) or len(client) > 128:
+        raise ProtocolError("client must be a short string")
+    specs = body.get("specs") or []
+    if kind == "specs" and not specs:
+        raise ProtocolError("kind 'specs' needs a non-empty specs list")
+    if not isinstance(specs, list) or not all(isinstance(s, dict) for s in specs):
+        raise ProtocolError("specs must be a list of RunSpec dicts")
+    params = body.get("params") or {}
+    if not isinstance(params, dict):
+        raise ProtocolError("params must be an object")
+    return submit_body(
+        kind, client=client, priority=body.get("priority", 0),
+        specs=specs, params=params,
+    )
+
+
+def job_body(
+    job_id: str,
+    key: str,
+    state: str,
+    kind: str,
+    total: int,
+    done: int = 0,
+    executed: int = 0,
+    cache_hits: int = 0,
+    journal_hits: int = 0,
+    coalesced: int = 0,
+    shard: int = 0,
+    error: str = "",
+) -> dict:
+    """The job descriptor returned by submit and ``GET /v1/jobs/<id>``."""
+    if state not in JOB_STATES:
+        raise ProtocolError(f"unknown job state {state!r}")
+    body = {
+        "job_id": job_id,
+        "key": key,
+        "state": state,
+        "kind": kind,
+        "total": total,
+        "done": done,
+        "executed": executed,
+        "cache_hits": cache_hits,
+        "journal_hits": journal_hits,
+        "coalesced": coalesced,
+        "shard": shard,
+    }
+    if error:
+        body["error"] = error
+    return _stamp(body)
+
+
+def event_body(kind: str, job_id: str, seq: int, data: dict) -> dict:
+    """One streamed progress event (``seq`` orders events within a job)."""
+    if kind not in EVENT_KINDS:
+        raise ProtocolError(f"unknown event kind {kind!r}")
+    return _stamp({"event": kind, "job_id": job_id, "seq": int(seq), "data": data})
+
+
+def is_terminal_event(event: dict) -> bool:
+    """Whether this event ends a watch stream."""
+    return event.get("event") in ("done", "failed")
+
+
+def error_body(status: int, message: str) -> dict:
+    """An error document; ``status`` mirrors the HTTP status code."""
+    return _stamp({"error": message, "status": int(status)})
+
+
+def stable_result_body(body: dict) -> dict:
+    """The byte-stable part of a result envelope.
+
+    Drops the ``timing`` key (wall-clock observations) so that two
+    servers answering the same job compare equal byte for byte.
+    """
+    return {k: v for k, v in body.items() if k != "timing"}
+
+
+# ---------------------------------------------------------------------------
+# server-sent events framing
+# ---------------------------------------------------------------------------
+
+
+def sse_format(event: dict) -> bytes:
+    """Frame one event dict for a ``text/event-stream`` response.
+
+    The ``event:`` field names the kind (so generic SSE consumers can
+    dispatch) and ``data:`` carries the canonical JSON body.
+    """
+    name = event.get("event", "message")
+    payload = wire_encode(event).decode().rstrip("\n")
+    return f"event: {name}\ndata: {payload}\n\n".encode()
+
+
+def sse_parse(stream) -> Any:
+    """Yield event dicts from an iterable of ``text/event-stream`` lines.
+
+    Accepts ``bytes`` or ``str`` lines (trailing newlines optional) and
+    tolerates comment/keepalive lines (leading ``:``).
+    """
+    data_lines: list[str] = []
+    for raw in stream:
+        line = raw.decode() if isinstance(raw, (bytes, bytearray)) else raw
+        line = line.rstrip("\r\n")
+        if not line:
+            if data_lines:
+                yield wire_decode("\n".join(data_lines))
+                data_lines = []
+            continue
+        if line.startswith(":"):
+            continue
+        if line.startswith("data:"):
+            data_lines.append(line[5:].lstrip())
+    if data_lines:
+        yield wire_decode("\n".join(data_lines))

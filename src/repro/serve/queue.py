@@ -1,0 +1,122 @@
+"""Sharded priority work queue with per-client quotas.
+
+Jobs are routed to a shard by their content key (the digest of their
+sorted spec hashes), so identical work always lands on the same shard —
+which is what makes request coalescing race-free: the shard that would
+execute a duplicate is the one place the duplicate check happens.
+
+Admission control is two-layered and answered at submit time, before
+anything is enqueued:
+
+* a **global depth bound** (``max_depth``) sheds load when the whole
+  queue is full (HTTP 503 at the wire);
+* a **per-client quota** (``quota``) on queued+running jobs keeps one
+  greedy client from starving the fleet (HTTP 429 at the wire).
+
+Within a shard, jobs pop lowest ``priority`` first (0 is the default;
+negative jumps the queue), ties in submission order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+
+class QuotaExceededError(RuntimeError):
+    """The submitting client is over its queued+running job quota."""
+
+
+class QueueFullError(RuntimeError):
+    """The queue as a whole is at its admission-control depth bound."""
+
+
+@dataclass(order=True)
+class _Entry:
+    priority: int
+    seq: int
+    job: object = field(compare=False)
+
+
+class ShardedQueue:
+    """Priority heaps sharded by job key, with quota accounting.
+
+    The queue tracks *charges*: a client is charged at admission and
+    credited when its job reaches a terminal state (not merely when it
+    is popped — a running job still occupies its client's quota).
+    Coalesced submits are never charged; they piggyback on the job that
+    already holds the charge.
+    """
+
+    def __init__(self, shards: int = 4, quota: int = 4, max_depth: int = 64) -> None:
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.shards = shards
+        self.quota = quota
+        self.max_depth = max_depth
+        self._heaps: list[list[_Entry]] = [[] for _ in range(shards)]
+        self._seq = 0
+        #: client -> queued+running job count.
+        self.charges: dict[str, int] = {}
+        #: jobs admitted but not yet credited back.
+        self.in_flight = 0
+
+    def shard_of(self, key: str) -> int:
+        """The shard a content key routes to (stable across processes)."""
+        return int(key[:8], 16) % self.shards
+
+    def depth(self, shard: int | None = None) -> int:
+        """Queued entries, in one shard or in total."""
+        if shard is not None:
+            return len(self._heaps[shard])
+        return sum(len(h) for h in self._heaps)
+
+    def admit(self, client: str) -> None:
+        """Check admission for *client* and charge it one job."""
+        if self.in_flight >= self.max_depth:
+            raise QueueFullError(
+                f"queue is at its depth bound ({self.max_depth} jobs in "
+                "flight); retry later"
+            )
+        held = self.charges.get(client, 0)
+        if held >= self.quota:
+            raise QuotaExceededError(
+                f"client {client!r} already has {held} job(s) in flight "
+                f"(quota {self.quota}); wait for one to finish"
+            )
+        self.charges[client] = held + 1
+        self.in_flight += 1
+
+    def push(self, key: str, priority: int, job) -> int:
+        """Enqueue an admitted job; returns the shard it landed on."""
+        shard = self.shard_of(key)
+        self._seq += 1
+        heapq.heappush(self._heaps[shard], _Entry(priority, self._seq, job))
+        return shard
+
+    def pop(self, shard: int):
+        """The highest-priority job of one shard, or ``None`` when idle."""
+        heap = self._heaps[shard]
+        if not heap:
+            return None
+        return heapq.heappop(heap).job
+
+    def credit(self, client: str) -> None:
+        """Return one charge when a client's job reaches a terminal state."""
+        held = self.charges.get(client, 0)
+        if held <= 1:
+            self.charges.pop(client, None)
+        else:
+            self.charges[client] = held - 1
+        self.in_flight = max(0, self.in_flight - 1)
+
+    def snapshot(self) -> dict:
+        """Queue state for ``GET /v1/status`` (deterministically ordered)."""
+        return {
+            "shards": self.shards,
+            "quota": self.quota,
+            "max_depth": self.max_depth,
+            "in_flight": self.in_flight,
+            "depths": [len(h) for h in self._heaps],
+            "clients": {c: n for c, n in sorted(self.charges.items())},
+        }

@@ -1,0 +1,442 @@
+"""The long-lived simulation service fronting the run orchestrator.
+
+One :class:`SimulationService` owns a shared :class:`ResultCache` and a
+:class:`ShardedQueue`; every accepted job flows
+
+    submit → admission (quota/depth) → coalesce check → shard queue
+           → shard worker → cache → journal → worker pool → events
+
+Coalescing happens on the job's **content key** — the digest of its
+sorted spec hashes, the same digest that names its journal — so N
+clients asking for identical work while it is queued or running share
+one execution and receive byte-identical results.  A submit that
+arrives *after* the job finished starts a fresh execution, which then
+resolves entirely from the warm cache (``0 executed``).
+
+Execution itself runs in a worker thread per shard
+(``asyncio.to_thread``): the orchestrator is synchronous and its
+process pool must not block the event loop that is streaming progress
+to watchers.  Progress callbacks hop back onto the loop via
+``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from dataclasses import dataclass, field
+
+from repro.runs.cache import ResultCache, code_fingerprint
+from repro.runs.journal import RunJournal
+from repro.runs.orchestrate import run_specs, sweep_journal_path
+from repro.runs.spec import RunSpec, canonical_json, simulation_spec
+from repro.serve.protocol import (
+    ProtocolError,
+    event_body,
+    job_body,
+    validate_submit,
+)
+from repro.serve.queue import ShardedQueue
+
+#: Finished jobs kept around for late ``result``/``events`` fetches.
+HISTORY_LIMIT = 256
+
+
+def job_key(specs: list[RunSpec]) -> str:
+    """Content key of a job: digest of its sorted spec hashes.
+
+    Matches the digest :func:`sweep_journal_path` folds into the journal
+    name, so a job's identity, its coalescing unit and its resume unit
+    are all the same thing.
+    """
+    return hashlib.sha256(
+        canonical_json(sorted(s.spec_hash() for s in specs)).encode()
+    ).hexdigest()
+
+
+@dataclass
+class Job:
+    """One admitted unit of work and everything its watchers can see."""
+
+    job_id: str
+    key: str
+    kind: str
+    client: str
+    priority: int
+    specs: list[RunSpec]
+    params: dict
+    shard: int = 0
+    state: str = "queued"
+    done: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    journal_hits: int = 0
+    failed: int = 0
+    coalesced: int = 0
+    error: str = ""
+    seq: int = 0
+    #: Full event history (replayed to late watchers).
+    events: list[dict] = field(default_factory=list)
+    #: Live watcher queues.
+    subscribers: list[asyncio.Queue] = field(default_factory=list)
+    #: Terminal result envelope (set when state is done/failed).
+    result: dict | None = None
+    timing: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.specs)
+
+    def descriptor(self) -> dict:
+        """The wire job body for this job's current state."""
+        return job_body(
+            self.job_id,
+            self.key,
+            self.state,
+            self.kind,
+            self.total,
+            done=self.done,
+            executed=self.executed,
+            cache_hits=self.cache_hits,
+            journal_hits=self.journal_hits,
+            coalesced=self.coalesced,
+            shard=self.shard,
+            error=self.error,
+        )
+
+
+class SimulationService:
+    """Queue, coalescing, execution and event fan-out for one daemon."""
+
+    def __init__(
+        self,
+        cache_root=None,
+        shards: int = 2,
+        quota: int = 4,
+        max_depth: int = 64,
+        jobs: int = 1,
+        max_generations: int | None = None,
+        max_bytes: int | None = None,
+        log=None,
+    ) -> None:
+        self.cache = ResultCache(cache_root, fingerprint=code_fingerprint())
+        self.queue = ShardedQueue(shards=shards, quota=quota, max_depth=max_depth)
+        self.jobs_per_run = jobs
+        self.max_generations = max_generations
+        self.max_bytes = max_bytes
+        self.log = log or (lambda line: None)
+        #: key -> queued/running job (the coalescing index).
+        self.active: dict[str, Job] = {}
+        #: job_id -> job, bounded by HISTORY_LIMIT.
+        self.jobs: dict[str, Job] = {}
+        self._job_seq = 0
+        self._wakeups = [asyncio.Event() for _ in range(shards)]
+        self._workers: list[asyncio.Task] = []
+        self._stopping = False
+        self.started_at = time.monotonic()
+        self.totals = {"submitted": 0, "coalesced": 0, "completed": 0, "failed": 0}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one consumer task per shard (call from the event loop)."""
+        self._workers = [
+            asyncio.create_task(self._shard_worker(i), name=f"serve-shard-{i}")
+            for i in range(self.queue.shards)
+        ]
+
+    async def stop(self) -> None:
+        self._stopping = True
+        for event in self._wakeups:
+            event.set()
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers = []
+
+    # -- submission ----------------------------------------------------------
+
+    def _expand(self, body: dict) -> tuple[list[RunSpec], dict]:
+        if body["kind"] == "specs":
+            try:
+                specs = [RunSpec.from_dict(d) for d in body["specs"]]
+            except (TypeError, ValueError) as exc:
+                raise ProtocolError(f"bad spec: {exc}") from exc
+            return specs, dict(body["params"])
+        params = dict(body["params"])
+        from repro.analysis.experiments import FIGURE5_DESIGNS
+        from repro.workloads.spec import SPEC_ORDER
+
+        length = int(params.get("length", 4000))
+        seed = int(params.get("seed", 1))
+        workloads = list(params.get("workloads") or SPEC_ORDER)
+        unknown = sorted(set(workloads) - set(SPEC_ORDER))
+        if unknown:
+            raise ProtocolError(f"unknown workloads: {unknown}")
+        specs = [
+            simulation_spec(scheme, name, length, seed)
+            for name in workloads
+            for scheme in FIGURE5_DESIGNS
+        ]
+        params = {"length": length, "seed": seed, "workloads": workloads}
+        return specs, params
+
+    def submit(self, body: dict) -> dict:
+        """Admit (or coalesce) one submit body; returns the job descriptor.
+
+        Raises :class:`~repro.serve.protocol.ProtocolError` on a malformed
+        body, :class:`~repro.serve.queue.QuotaExceededError` /
+        :class:`~repro.serve.queue.QueueFullError` on admission failure.
+        """
+        body = validate_submit(body)
+        specs, params = self._expand(body)
+        key = job_key(specs)
+        running = self.active.get(key)
+        if running is not None:
+            running.coalesced += 1
+            self.totals["coalesced"] += 1
+            self.log(
+                f"coalesce {running.job_id} (+{body['client']}, "
+                f"{running.coalesced} rider(s))"
+            )
+            return running.descriptor()
+        self.queue.admit(body["client"])
+        self._job_seq += 1
+        job = Job(
+            job_id=f"{key[:12]}-{self._job_seq}",
+            key=key,
+            kind=body["kind"],
+            client=body["client"],
+            priority=body["priority"],
+            specs=specs,
+            params=params,
+        )
+        job.shard = self.queue.push(key, job.priority, job)
+        self.active[key] = job
+        self.jobs[job.job_id] = job
+        self._trim_history()
+        self.totals["submitted"] += 1
+        job.timing["submitted_at"] = time.monotonic()
+        self._emit(job, "queued", {"job": job.descriptor()})
+        self._wakeups[job.shard].set()
+        self.log(
+            f"queued {job.job_id} kind={job.kind} client={job.client} "
+            f"specs={job.total} shard={job.shard}"
+        )
+        return job.descriptor()
+
+    def _trim_history(self) -> None:
+        while len(self.jobs) > HISTORY_LIMIT:
+            for job_id, job in list(self.jobs.items()):
+                if job.state in ("done", "failed"):
+                    del self.jobs[job_id]
+                    break
+            else:
+                return
+
+    # -- events --------------------------------------------------------------
+
+    def _emit(self, job: Job, kind: str, data: dict) -> None:
+        job.seq += 1
+        event = event_body(kind, job.job_id, job.seq, data)
+        job.events.append(event)
+        for queue in list(job.subscribers):
+            queue.put_nowait(event)
+
+    def subscribe(self, job: Job) -> tuple[list[dict], asyncio.Queue | None]:
+        """History so far plus a live queue (``None`` if already terminal)."""
+        history = list(job.events)
+        if job.state in ("done", "failed"):
+            return history, None
+        queue: asyncio.Queue = asyncio.Queue()
+        job.subscribers.append(queue)
+        return history, queue
+
+    def unsubscribe(self, job: Job, queue: asyncio.Queue) -> None:
+        try:
+            job.subscribers.remove(queue)
+        except ValueError:
+            pass
+
+    # -- execution -----------------------------------------------------------
+
+    async def _shard_worker(self, shard: int) -> None:
+        while not self._stopping:
+            job = self.queue.pop(shard)
+            if job is None:
+                self._wakeups[shard].clear()
+                await self._wakeups[shard].wait()
+                continue
+            await self._execute(job)
+
+    async def _execute(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        job.state = "running"
+        job.timing["started_at"] = time.monotonic()
+        self._emit(job, "started", {"job": job.descriptor()})
+        self.log(f"start {job.job_id} on shard {job.shard}")
+
+        def progress(outcome, done, total):
+            # Called from the executor thread: hop onto the loop before
+            # touching job state or subscriber queues.
+            data = {
+                "done": done,
+                "total": total,
+                "spec_hash": outcome.spec.spec_hash(),
+                "label": outcome.spec.describe(),
+                "status": outcome.status,
+                "source": outcome.source,
+                "duration": round(outcome.duration, 6),
+            }
+            payload = outcome.payload
+            if isinstance(payload, dict) and "obs" in payload:
+                data["obs_timeline"] = payload["obs"].get("timeline")
+            loop.call_soon_threadsafe(self._progress_event, job, data)
+
+        started = time.perf_counter()
+        try:
+            report = await asyncio.to_thread(self._run_job, job, progress)
+        except Exception as exc:  # noqa: BLE001 - daemon must survive any job
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.result = self._envelope(job, {"error": job.error})
+            self.totals["failed"] += 1
+            self._finish(job, "failed", {"job": job.descriptor()})
+            self.log(f"failed {job.job_id}: {job.error}")
+            return
+        job.timing["exec_seconds"] = round(time.perf_counter() - started, 6)
+        job.executed = report.executed
+        job.cache_hits = report.cache_hits
+        job.journal_hits = report.journal_hits
+        job.failed = report.failed
+        job.done = len(report.outcomes)
+        job.state = "done"
+        job.result = self._envelope(job, self._result_payload(job, report))
+        self.totals["completed"] += 1
+        self._finish(
+            job,
+            "done",
+            {"job": job.descriptor(), "summary": report.summary()},
+        )
+        self.log(f"done {job.job_id}: {report.summary()}")
+        if self.max_generations is not None or self.max_bytes is not None:
+            swept = await asyncio.to_thread(
+                self.cache.gc,
+                False,
+                self.max_generations,
+                self.max_bytes,
+            )
+            if swept["removed"]:
+                self.log(
+                    f"evicted {swept['removed']} entr(y/ies), "
+                    f"{swept['reclaimed_bytes']} bytes"
+                )
+
+    def _finish(self, job: Job, kind: str, data: dict) -> None:
+        self._emit(job, kind, data)
+        self.active.pop(job.key, None)
+        self.queue.credit(job.client)
+        for queue in list(job.subscribers):
+            job.subscribers.remove(queue)
+
+    def _progress_event(self, job: Job, data: dict) -> None:
+        job.done = data["done"]
+        self._emit(job, "progress", data)
+
+    def _run_job(self, job: Job, progress):
+        """Synchronous execution body (runs in the shard's thread)."""
+        journal_path = sweep_journal_path(self.cache, f"serve-{job.kind}", job.specs)
+        with RunJournal(journal_path, self.cache.fingerprint) as journal:
+            return run_specs(
+                job.specs,
+                jobs=self.jobs_per_run,
+                cache=self.cache,
+                journal=journal,
+                progress=progress,
+            )
+
+    # -- results -------------------------------------------------------------
+
+    def _envelope(self, job: Job, result: dict) -> dict:
+        return {
+            "schema_version": 1,
+            "job": job.descriptor(),
+            "result": result,
+            "timing": {
+                "exec_seconds": job.timing.get("exec_seconds", 0.0),
+            },
+        }
+
+    def _result_payload(self, job: Job, report) -> dict:
+        if job.kind == "evaluate":
+            return self._evaluate_document(job, report)
+        results = {}
+        errors = {}
+        for spec in job.specs:
+            outcome = report.outcomes[spec.spec_hash()]
+            if outcome.ok:
+                results[spec.spec_hash()] = outcome.payload
+            else:
+                errors[spec.spec_hash()] = {
+                    "status": outcome.status,
+                    "error": outcome.error,
+                }
+        payload = {"kind": "specs", "results": results}
+        if errors:
+            payload["errors"] = errors
+        return payload
+
+    def _evaluate_document(self, job: Job, report) -> dict:
+        from repro.analysis.experiments import FIGURE5_DESIGNS
+        from repro.analysis.export import fig5_bench_document, result_from_dict
+        from repro.sim.runner import DesignComparison
+
+        report.raise_on_failure()
+        by_hash = {s.spec_hash(): s for s in job.specs}
+        cells: dict[str, dict] = {}
+        for spec_hash, spec in by_hash.items():
+            cells.setdefault(spec.workload, {})[spec.scheme] = result_from_dict(
+                report.outcomes[spec_hash].payload
+            )
+        comparisons = {
+            name: DesignComparison(
+                workload=name,
+                results={s: cells[name][s] for s in FIGURE5_DESIGNS},
+            )
+            for name in job.params["workloads"]
+        }
+        meta = {
+            "length": job.params["length"],
+            "seed": job.params["seed"],
+            "fingerprint": self.cache.fingerprint,
+            "executed": report.executed,
+            "cache_hits": report.cache_hits,
+            "journal_hits": report.journal_hits,
+            "served": True,
+        }
+        return fig5_bench_document(comparisons, meta)
+
+    # -- introspection -------------------------------------------------------
+
+    def job(self, job_id: str) -> Job | None:
+        return self.jobs.get(job_id)
+
+    def status(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "schema_version": 1,
+            "queue": self.queue.snapshot(),
+            "cache": self.cache.status(),
+            "jobs": {k: v for k, v in sorted(states.items())},
+            "totals": dict(self.totals),
+            "timing": {
+                "uptime_seconds": round(time.monotonic() - self.started_at, 3)
+            },
+        }

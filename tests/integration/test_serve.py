@@ -1,0 +1,266 @@
+"""Integration tests for the simulation service (daemon-in-a-thread).
+
+Each test runs the real :class:`SimulationService` + :class:`HttpServer`
+on an ephemeral TCP port inside a background event loop and talks to it
+with the real :class:`ServeClient` — the same stack ``repro serve`` and
+``repro client`` use, minus the process boundary.  Workers start
+*suspended* where a test needs deterministic queue states (coalescing,
+admission control) and are released once the scenario is set up.
+"""
+
+import asyncio
+import importlib
+import json
+import shutil
+import threading
+
+import pytest
+
+from repro.analysis.experiments import FIGURE5_DESIGNS
+from repro.runs.cache import ResultCache, code_fingerprint
+from repro.runs.journal import RunJournal
+from repro.runs.orchestrate import run_specs, sweep_journal_path
+from repro.runs.spec import simulation_spec
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.http import HttpServer
+from repro.serve.protocol import is_terminal_event, stable_result_body, wire_encode
+from repro.serve.service import SimulationService
+
+# The package re-exports the orchestrate *function* under this name, so
+# reach for the module itself (monkeypatching its WorkerPool reference).
+orchestrate_mod = importlib.import_module("repro.runs.orchestrate")
+
+LENGTH = 300
+
+
+class Harness:
+    """Service + HTTP listener on a private loop thread."""
+
+    def __init__(self, cache_root, autostart=True, **service_kw):
+        self.cache_root = cache_root
+        self.autostart = autostart
+        self.service_kw = service_kw
+        self.service = None
+        self.port = None
+        self.loop = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.run(self._main())
+
+    async def _main(self):
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.service = SimulationService(
+            cache_root=self.cache_root, **self.service_kw
+        )
+        if self.autostart:
+            self.service.start()
+        server = HttpServer(self.service)
+        self.port = await server.listen_tcp("127.0.0.1", 0)
+        self._ready.set()
+        await self._stop.wait()
+        await server.close()
+        await self.service.stop()
+
+    def start_workers(self):
+        """Release the suspended shard workers (autostart=False mode)."""
+        done = threading.Event()
+
+        def go():
+            self.service.start()
+            done.set()
+
+        self.loop.call_soon_threadsafe(go)
+        done.wait(5)
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "service failed to come up"
+        return self
+
+    def __exit__(self, *exc):
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+
+    def client(self, timeout=30.0):
+        return ServeClient(f"http://127.0.0.1:{self.port}", timeout=timeout)
+
+
+def evaluate_params(length=LENGTH, seed=1, workloads=("lbm",)):
+    return {"length": length, "seed": seed, "workloads": list(workloads)}
+
+
+def drain(client, job_id, timeout=120.0):
+    """Watch a job to its terminal event; returns the full event list."""
+    events = list(client.watch(job_id, timeout=timeout))
+    assert events and is_terminal_event(events[-1])
+    return events
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submits_share_one_execution(self, tmp_path):
+        with Harness(tmp_path / "cache", autostart=False, shards=2) as h:
+            clients = [h.client() for _ in range(4)]
+            descriptors = [
+                c.submit("evaluate", client=f"c{i}", params=evaluate_params())
+                for i, c in enumerate(clients)
+            ]
+            # All four submits resolved to the same job; three coalesced.
+            job_ids = {d["job_id"] for d in descriptors}
+            assert len(job_ids) == 1
+            job_id = job_ids.pop()
+            assert h.service.totals == {
+                "submitted": 1, "coalesced": 3, "completed": 0, "failed": 0
+            }
+
+            h.start_workers()
+            drain(clients[0], job_id)
+
+            # Every rider fetches the result independently; the wire
+            # bytes (minus timing) are identical across all of them.
+            payloads = {
+                wire_encode(stable_result_body(c.result(job_id)))
+                for c in clients
+            }
+            assert len(payloads) == 1
+            descriptor = clients[0].job(job_id)
+            assert descriptor["state"] == "done"
+            assert descriptor["coalesced"] == 3
+            assert h.service.totals["completed"] == 1
+
+    def test_resubmit_after_completion_is_a_fresh_warm_job(self, tmp_path):
+        with Harness(tmp_path / "cache") as h:
+            client = h.client()
+            first = client.run("evaluate", params=evaluate_params())
+            second_descriptor = client.submit(
+                "evaluate", params=evaluate_params()
+            )
+            # Not coalesced — the first job already left the active set.
+            assert second_descriptor["job_id"] != first["job"]["job_id"]
+            drain(client, second_descriptor["job_id"])
+            second = client.result(second_descriptor["job_id"])
+            assert second["job"]["executed"] == 0
+            assert second["job"]["cache_hits"] == second["job"]["total"]
+            # The result document is byte-identical apart from run metadata.
+            cold = dict(first["result"], run=None)
+            warm = dict(second["result"], run=None)
+            assert (
+                json.dumps(cold, sort_keys=True) == json.dumps(warm, sort_keys=True)
+            )
+
+
+class TestAdmission:
+    def test_quota_and_depth_rejections(self, tmp_path):
+        with Harness(
+            tmp_path / "cache", autostart=False, quota=1, max_depth=2
+        ) as h:
+            client = h.client()
+            first = client.submit(
+                "evaluate", client="alice", params=evaluate_params(length=300)
+            )
+            with pytest.raises(ServeError) as over_quota:
+                client.submit(
+                    "evaluate", client="alice", params=evaluate_params(length=301)
+                )
+            assert over_quota.value.status == 429
+            second = client.submit(
+                "evaluate", client="bob", params=evaluate_params(length=302)
+            )
+            with pytest.raises(ServeError) as queue_full:
+                client.submit(
+                    "evaluate", client="carol", params=evaluate_params(length=303)
+                )
+            assert queue_full.value.status == 503
+
+            # Slots are credited back at the terminal state.
+            h.start_workers()
+            drain(client, first["job_id"])
+            drain(client, second["job_id"])
+            third = client.submit(
+                "evaluate", client="alice", params=evaluate_params(length=304)
+            )
+            drain(client, third["job_id"])
+            assert h.service.queue.snapshot()["in_flight"] == 0
+
+
+class TestStreaming:
+    def test_stream_has_progress_per_cell_and_ends_terminal(self, tmp_path):
+        with Harness(tmp_path / "cache") as h:
+            client = h.client()
+            descriptor = client.submit(
+                "evaluate", params=evaluate_params(workloads=("lbm", "gcc"))
+            )
+            events = drain(client, descriptor["job_id"])
+            kinds = [e["event"] for e in events]
+            assert kinds[0] == "queued"
+            assert "started" in kinds
+            progress = [e for e in events if e["event"] == "progress"]
+            # One progress event per completed cell (2 workloads x 5 designs).
+            assert len(progress) == 2 * len(FIGURE5_DESIGNS)
+            assert [e["data"]["done"] for e in progress] == list(
+                range(1, len(progress) + 1)
+            )
+            assert kinds[-1] == "done"
+            assert "summary" in events[-1]["data"]
+            seqs = [e["seq"] for e in events]
+            assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+            # A late watcher replays the identical history, still
+            # terminated by the terminal event.
+            replay = drain(client, descriptor["job_id"])
+            assert replay == events
+
+
+class TestWarmCache:
+    def test_warm_submit_never_touches_the_pool(self, tmp_path, monkeypatch):
+        with Harness(tmp_path / "cache") as h:
+            client = h.client()
+            client.run("evaluate", params=evaluate_params())
+
+            class ForbiddenPool:
+                def __init__(self, *args, **kwargs):
+                    raise AssertionError(
+                        "WorkerPool constructed on a warm-cache submit"
+                    )
+
+            monkeypatch.setattr(orchestrate_mod, "WorkerPool", ForbiddenPool)
+            warm = client.run("evaluate", params=evaluate_params())
+            assert warm["job"]["state"] == "done"
+            assert warm["job"]["executed"] == 0
+            assert warm["job"]["cache_hits"] == warm["job"]["total"]
+
+
+class TestRestartResume:
+    def test_journal_resumes_interrupted_sweep(self, tmp_path):
+        cache_root = tmp_path / "cache"
+        cache = ResultCache(cache_root, fingerprint=code_fingerprint())
+        specs = [
+            simulation_spec(scheme, "lbm", LENGTH, 1)
+            for scheme in FIGURE5_DESIGNS
+        ]
+        # A previous daemon got through two cells before dying: its
+        # journal (named exactly like the service names it) holds two
+        # completed records.
+        journal_path = sweep_journal_path(cache, "serve-evaluate", specs)
+        with RunJournal(journal_path, cache.fingerprint) as journal:
+            run_specs(specs[:2], jobs=1, cache=cache, journal=journal)
+        # The cache itself was lost (evicted/removed) — only the journal
+        # survives, which is the harder resume path.
+        shutil.rmtree(cache.results_dir)
+
+        with Harness(cache_root) as h:
+            client = h.client()
+            descriptor = client.submit("evaluate", params=evaluate_params())
+            drain(client, descriptor["job_id"])
+            job = client.job(descriptor["job_id"])
+            assert job["state"] == "done"
+            # Two cells resumed from the journal, three executed fresh —
+            # every cell accounted for exactly once.
+            assert job["journal_hits"] == 2
+            assert job["executed"] == len(specs) - 2
+            assert job["done"] == len(specs)
+            result = client.result(descriptor["job_id"])
+            assert result["result"]["run"]["journal_hits"] == 2

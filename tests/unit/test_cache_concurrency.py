@@ -1,0 +1,71 @@
+"""Multiprocess stress test for the cache's atomic-rename discipline.
+
+Four writer processes hammer the *same* spec hash while the parent reads
+it back continuously.  Because every writer goes through mkstemp +
+os.replace, a reader must never observe a torn document: every read is
+either a miss (before the first write lands) or a complete, valid
+envelope from one of the writers.
+"""
+
+import json
+import subprocess
+import sys
+
+from repro.runs.cache import ResultCache
+from repro.runs.spec import simulation_spec
+
+SPEC = simulation_spec("ccnvm", "lbm", 1000, 1)
+FINGERPRINT = "f" * 16
+ITERATIONS = 100
+WRITERS = 4
+
+WRITER_SCRIPT = """
+import sys
+from repro.runs.cache import ResultCache
+from repro.runs.spec import simulation_spec
+
+root, worker, iterations = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+cache = ResultCache(root, fingerprint="{fingerprint}")
+spec = simulation_spec("ccnvm", "lbm", 1000, 1)
+for i in range(iterations):
+    cache.put(spec, {{"worker": worker, "iteration": i}})
+    seen = cache.get(spec)
+    assert seen is not None, "reader saw a torn/invalid document"
+    assert set(seen) == {{"worker", "iteration"}}, seen
+"""
+
+
+def test_concurrent_writers_same_key_never_tear(tmp_path):
+    root = tmp_path / "cache"
+    script = WRITER_SCRIPT.format(fingerprint=FINGERPRINT)
+    writers = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, str(root), str(n), str(ITERATIONS)],
+            stderr=subprocess.PIPE,
+        )
+        for n in range(WRITERS)
+    ]
+
+    # The parent doubles as a dedicated reader while the writers race.
+    cache = ResultCache(root, fingerprint=FINGERPRINT)
+    observed = 0
+    while any(w.poll() is None for w in writers):
+        payload = cache.get(SPEC)
+        if payload is not None:
+            assert set(payload) == {"worker", "iteration"}, payload
+            assert 0 <= payload["worker"] < WRITERS
+            observed += 1
+
+    for writer in writers:
+        stderr = writer.stderr.read().decode()
+        writer.stderr.close()
+        assert writer.wait() == 0, stderr
+    assert observed > 0, "reader never overlapped the writers"
+
+    # The final state is one complete document from some writer — and the
+    # raw file parses, so no rename ever exposed a partial write.
+    path = cache.path_for(SPEC)
+    envelope = json.loads(path.read_text())
+    assert envelope["payload"]["iteration"] == ITERATIONS - 1
+    # No temp-file residue: every mkstemp either renamed or was unlinked.
+    assert not list(path.parent.glob("*.tmp"))

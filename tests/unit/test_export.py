@@ -150,6 +150,67 @@ class TestFig5BenchArtifact:
         rebuilt = result_from_dict(doc["results"]["lbm"]["ccnvm"])
         assert rebuilt == results["ccnvm"]
 
+    def test_from_json_round_trips_and_validates(self):
+        import pytest
+
+        from repro.analysis.export import fig5_bench_from_json, fig5_bench_to_json
+        from repro.sim.runner import DesignComparison
+
+        results = {
+            "no_cc": sample_result("no_cc", ipc=1.0),
+            "sc": sample_result("sc", ipc=0.5),
+            "osiris_plus": sample_result("osiris_plus", ipc=0.7),
+            "ccnvm_no_ds": sample_result("ccnvm_no_ds", ipc=0.75),
+            "ccnvm": sample_result("ccnvm", ipc=0.9),
+        }
+        comparisons = {"lbm": DesignComparison("lbm", results)}
+        text = fig5_bench_to_json(comparisons, {"length": 4000})
+        rebuilt = fig5_bench_from_json(text)
+        assert rebuilt["lbm"]["ccnvm"] == results["ccnvm"]
+        # A document whose derived sections disagree with its raw cells
+        # is rejected rather than trusted.
+        doc = json.loads(text)
+        doc["headline"]["ccnvm_ipc_gain_over_osiris"] += 0.5
+        with pytest.raises(ValueError, match="headline"):
+            fig5_bench_from_json(json.dumps(doc))
+        with pytest.raises(ValueError, match="not a fig5"):
+            fig5_bench_from_json(json.dumps({"benchmark": "fig6"}))
+
+    def test_from_json_is_insensitive_to_json_key_sorting(self):
+        # The document's table averages sum floats in workload order;
+        # the serializer sorts keys alphabetically.  Values are chosen
+        # so that summing in document order (0.193 + 0.358 + 0.668) and
+        # in sorted gcc/lbm/soplex order (0.358 + 0.668 + 0.193) differ
+        # in the last bits — the round trip must follow the recorded
+        # workload order, not JSON key order.
+        import pytest
+
+        from repro.analysis.export import fig5_bench_from_json, fig5_bench_to_json
+        from repro.sim.runner import DesignComparison
+
+        ipcs = {"soplex": 0.193, "gcc": 0.358, "lbm": 0.668}
+        assert 0.193 + 0.358 + 0.668 != 0.358 + 0.668 + 0.193
+        comparisons = {
+            workload: DesignComparison(workload, {
+                scheme: sample_result(
+                    scheme, ipc=1.0 if scheme == "no_cc" else ipc
+                )
+                for scheme in ("no_cc", "sc", "osiris_plus",
+                               "ccnvm_no_ds", "ccnvm")
+            })
+            for workload, ipc in ipcs.items()
+        }
+        text = fig5_bench_to_json(comparisons, {})
+        rebuilt = fig5_bench_from_json(text)
+        assert list(rebuilt) == ["soplex", "gcc", "lbm"]
+
+        # A document whose workload list disagrees with its cells is
+        # rejected (it would make the order reconstruction meaningless).
+        doc = json.loads(text)
+        doc["workloads"] = ["soplex", "gcc"]
+        with pytest.raises(ValueError, match="workloads"):
+            fig5_bench_from_json(json.dumps(doc))
+
 
 class TestLintJson:
     def test_lint_report_round_trips(self, tmp_path):

@@ -1,0 +1,181 @@
+"""Unit tests for the serve wire protocol, queue and daemon lock."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve.lock import DaemonLock, DaemonRunningError
+from repro.serve.protocol import (
+    SCHEMA_VERSION,
+    ProtocolError,
+    error_body,
+    event_body,
+    is_terminal_event,
+    job_body,
+    sse_format,
+    sse_parse,
+    stable_result_body,
+    submit_body,
+    validate_submit,
+    wire_decode,
+    wire_encode,
+)
+from repro.serve.queue import (
+    QueueFullError,
+    QuotaExceededError,
+    ShardedQueue,
+)
+
+
+class TestWireFormat:
+    def test_encode_is_canonical(self):
+        body = {"b": 2, "a": 1, "schema_version": SCHEMA_VERSION}
+        assert wire_encode(body) == b'{"a":1,"b":2,"schema_version":1}\n'
+
+    def test_round_trip(self):
+        body = submit_body("evaluate", client="c", params={"length": 400})
+        assert wire_decode(wire_encode(body)) == body
+
+    def test_encoding_is_byte_stable_across_key_order(self):
+        one = wire_encode({"schema_version": 1, "x": 1, "y": 2})
+        two = wire_encode({"y": 2, "x": 1, "schema_version": 1})
+        assert one == two
+
+    def test_decode_rejects_wrong_schema_version(self):
+        with pytest.raises(ProtocolError, match="schema"):
+            wire_decode(json.dumps({"schema_version": 99}))
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            wire_decode(b"[1,2]")
+        with pytest.raises(ProtocolError):
+            wire_decode(b"{torn")
+
+    def test_stable_result_body_strips_timing_only(self):
+        body = {"schema_version": 1, "result": {"x": 1}, "timing": {"s": 0.5}}
+        assert stable_result_body(body) == {
+            "schema_version": 1, "result": {"x": 1}
+        }
+
+
+class TestSubmitValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="kind"):
+            validate_submit({"kind": "frobnicate"})
+
+    def test_specs_kind_needs_specs(self):
+        with pytest.raises(ProtocolError, match="specs"):
+            validate_submit({"kind": "specs", "specs": []})
+
+    def test_normalizes_defaults(self):
+        body = validate_submit({"kind": "evaluate"})
+        assert body["client"] == "anonymous"
+        assert body["priority"] == 0
+        assert body["schema_version"] == SCHEMA_VERSION
+
+    def test_error_and_job_bodies_carry_schema_version(self):
+        assert error_body(429, "over quota")["schema_version"] == SCHEMA_VERSION
+        job = job_body("j1", "k" * 64, "queued", "specs", 4)
+        assert job["schema_version"] == SCHEMA_VERSION
+        with pytest.raises(ProtocolError):
+            job_body("j1", "k", "exploded", "specs", 4)
+
+
+class TestSse:
+    def test_format_and_parse_round_trip(self):
+        events = [
+            event_body("queued", "j1", 1, {"a": 1}),
+            event_body("progress", "j1", 2, {"done": 1, "total": 2}),
+            event_body("done", "j1", 3, {"summary": "ok"}),
+        ]
+        stream = b"".join(sse_format(e) for e in events)
+        parsed = list(sse_parse(stream.decode().splitlines(keepends=True)))
+        assert parsed == events
+
+    def test_terminal_detection(self):
+        assert is_terminal_event(event_body("done", "j", 1, {}))
+        assert is_terminal_event(event_body("failed", "j", 1, {}))
+        assert not is_terminal_event(event_body("progress", "j", 1, {}))
+
+    def test_parse_skips_comment_keepalives(self):
+        frame = b": keepalive\n\n" + sse_format(event_body("done", "j", 1, {}))
+        parsed = list(sse_parse(frame.decode().splitlines(keepends=True)))
+        assert len(parsed) == 1
+
+
+class TestShardedQueue:
+    def test_same_key_routes_to_same_shard(self):
+        queue = ShardedQueue(shards=4)
+        key = "deadbeef" + "0" * 56
+        assert queue.shard_of(key) == queue.shard_of(key)
+        assert 0 <= queue.shard_of(key) < 4
+
+    def test_priority_order_within_shard(self):
+        queue = ShardedQueue(shards=1)
+        queue.push("0" * 64, 5, "later")
+        queue.push("1" * 64, 0, "sooner")
+        queue.push("2" * 64, 0, "second")
+        assert queue.pop(0) == "sooner"
+        assert queue.pop(0) == "second"
+        assert queue.pop(0) == "later"
+        assert queue.pop(0) is None
+
+    def test_quota_charges_and_credits(self):
+        queue = ShardedQueue(shards=1, quota=2)
+        queue.admit("alice")
+        queue.admit("alice")
+        with pytest.raises(QuotaExceededError, match="alice"):
+            queue.admit("alice")
+        queue.admit("bob")  # other clients unaffected
+        queue.credit("alice")
+        queue.admit("alice")  # freed slot is reusable
+        snapshot = queue.snapshot()
+        assert snapshot["clients"] == {"alice": 2, "bob": 1}
+        assert snapshot["in_flight"] == 3
+
+    def test_global_depth_bound(self):
+        queue = ShardedQueue(shards=1, quota=10, max_depth=2)
+        queue.admit("a")
+        queue.admit("b")
+        with pytest.raises(QueueFullError):
+            queue.admit("c")
+
+
+class TestDaemonLock:
+    def test_acquire_writes_pidfile_and_releases(self, tmp_path):
+        lock = DaemonLock(tmp_path)
+        with lock:
+            assert lock.holder() == lock.pid
+        assert lock.holder() is None
+
+    def test_live_daemon_is_refused(self, tmp_path):
+        first = DaemonLock(tmp_path).acquire()
+        try:
+            with pytest.raises(DaemonRunningError, match="already serves"):
+                DaemonLock(tmp_path).acquire()
+        finally:
+            first.release()
+
+    def test_stale_lock_from_dead_pid_is_broken(self, tmp_path):
+        # A real process that has already exited: its pid is guaranteed
+        # dead (we reaped it), unlike a guessed number.
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        (tmp_path / "serve.lock").write_text(f"{proc.pid}\n")
+        lock = DaemonLock(tmp_path).acquire()
+        assert lock.holder() == lock.pid
+        lock.release()
+
+    def test_torn_lock_file_is_broken(self, tmp_path):
+        (tmp_path / "serve.lock").write_text("not a pid")
+        lock = DaemonLock(tmp_path).acquire()
+        assert lock.holder() == lock.pid
+        lock.release()
+
+    def test_release_leaves_foreign_lock_alone(self, tmp_path):
+        lock = DaemonLock(tmp_path).acquire()
+        (tmp_path / "serve.lock").write_text("424242\n")
+        lock.release()
+        assert (tmp_path / "serve.lock").read_text() == "424242\n"
