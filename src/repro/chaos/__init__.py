@@ -1,0 +1,41 @@
+"""Deterministic infrastructure-fault injection for the serving stack.
+
+The simulated NVM survives power failures by construction; this package
+makes the *host* stack that serves those simulations — worker pool,
+result cache, run journal, daemon — survivable and *tested* the same
+way:
+
+* :mod:`repro.chaos.plan` — the chaos-site registry (drift-checked
+  against the source tree like the fault-site registry) and seeded
+  :class:`~repro.chaos.plan.ChaosPlan` schedules that travel through
+  ``CCNVM_CHAOS_PLAN`` into spawn workers;
+* :mod:`repro.chaos.inject` — the process-global injector behind the
+  ``chaos_fire(site)`` hooks threaded through pool/cache/journal/serve;
+* :mod:`repro.chaos.campaign` — ``repro chaos run``: drives the real
+  service under single-site plans and asserts the global invariants
+  (every job terminates, exactly-once resume across a kill, results
+  byte-identical to the fault-free baseline once retried to success,
+  breaker trips and recovers).
+"""
+
+from repro.chaos.inject import ChaosInjector, chaos_fire, install
+from repro.chaos.plan import (
+    ALL_SITE_NAMES,
+    CHAOS_PLAN_ENV,
+    SITES,
+    ChaosError,
+    ChaosPlan,
+    ChaosSite,
+)
+
+__all__ = [
+    "ALL_SITE_NAMES",
+    "CHAOS_PLAN_ENV",
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosPlan",
+    "ChaosSite",
+    "SITES",
+    "chaos_fire",
+    "install",
+]

@@ -1,0 +1,520 @@
+"""The chaos campaign: drive the real service under injected faults.
+
+``repro chaos run`` sweeps seeded single-site :class:`ChaosPlan`s over
+the full serving stack — worker pool, result cache, run journal, HTTP
+front-end — and asserts the global robustness invariants the subsystem
+promises:
+
+* **termination** — every submitted job reaches a terminal state; no
+  watcher hangs (each event is bounded by a per-event timeout);
+* **exactly-once** — across an interrupted sweep and a resume, every
+  cell is executed exactly once: the journal holds one fresh record per
+  spec and the resumed job's accounting adds up;
+* **byte-stability** — once retried to success, the result document is
+  byte-identical to a fault-free run (modulo the explicitly non-stable
+  ``run`` metadata block);
+* **degradation** — the circuit breaker trips after consecutive
+  failures, cache-only mode still serves warm work, and the half-open
+  probe recovers the service.
+
+Everything is driven through the real :class:`ServeClient` against a
+real :class:`SimulationService` + :class:`HttpServer` on an ephemeral
+port — the same stack the daemon runs, minus the process boundary (the
+CI smoke job adds the process boundary and a genuine SIGKILL on top).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import shutil
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.chaos.inject import ChaosInjector, deactivate, install
+from repro.chaos.plan import CHAOS_PLAN_ENV, ChaosPlan
+from repro.runs.cache import ResultCache, code_fingerprint
+from repro.runs.journal import RunJournal
+from repro.runs.orchestrate import run_specs, sweep_journal_path
+from repro.runs.spec import simulation_spec
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.http import HttpServer
+from repro.serve.protocol import is_terminal_event
+from repro.serve.service import SimulationService
+
+#: The sweep table: one seeded single-site plan per entry.  ``hits``
+#: are 1-based per-process visit numbers; worker sites count inside the
+#: (short-lived) spawn workers, everything else in the service process.
+#: ``evidence`` names how the campaign proves the fault actually fired:
+#: ``fires`` (the in-process injector logged it), ``retried`` (the job
+#: reports supervision retries — worker faults fire in child processes
+#: the parent injector cannot see).
+SWEEP_SITES: tuple[dict, ...] = (
+    {"site": "pool.worker_crash", "hits": (2,), "params": {"exit_code": 70},
+     "jobs": 2, "timeout": 3.0, "evidence": "retried"},
+    {"site": "pool.worker_hang", "hits": (2,), "params": {"hang_seconds": 30.0},
+     "jobs": 2, "timeout": 3.0, "evidence": "retried"},
+    {"site": "pool.result_corrupt", "hits": (2,), "params": {},
+     "jobs": 1, "evidence": "retried"},
+    {"site": "cache.put_eio", "hits": (1,), "params": {}, "evidence": "fires"},
+    {"site": "cache.put_enospc", "hits": (1,), "params": {}, "evidence": "fires"},
+    {"site": "cache.put_torn", "hits": (1,), "params": {}, "evidence": "fires"},
+    {"site": "cache.get_missing", "hits": (6,), "params": {},
+     "submits": 2, "evidence": "fires"},
+    {"site": "journal.append_torn", "hits": (2,), "params": {},
+     "evidence": "fires"},
+    {"site": "journal.fsync_fail", "hits": (2,), "params": {},
+     "evidence": "fires"},
+    {"site": "serve.exec_error", "hits": (1,), "params": {},
+     "evidence": "fires"},
+    {"site": "serve.conn_drop", "hits": (2,), "params": {},
+     "evidence": "fires"},
+    {"site": "serve.slow_loris", "hits": (2, 4),
+     "params": {"delay_seconds": 0.05}, "evidence": "fires"},
+)
+
+
+@dataclass
+class ChaosCampaignConfig:
+    """Everything ``repro chaos run`` can configure."""
+
+    workdir: str
+    seed: int = 7
+    length: int = 120
+    run_seed: int = 1
+    workloads: tuple[str, ...] = ("lbm",)
+    #: Sites to sweep (None = the full SWEEP_SITES table).
+    sites: tuple[str, ...] | None = None
+    scenarios: tuple[str, ...] = ("sweep", "resume", "breaker")
+    #: Supervision settings handed to the service under test.
+    retries: int = 2
+    #: Extra whole-job resubmits after a failed/degraded attempt.
+    resubmits: int = 2
+    #: Per-event watch timeout: exceeding it is a HANG, an invariant
+    #: violation in its own right.
+    event_timeout: float = 60.0
+    #: Progress logger (``line -> None``); None = silent.
+    log: object = None
+
+
+@dataclass
+class ChaosCampaignResult:
+    """One campaign's verdicts, JSON-able for CI artifacts."""
+
+    checks: list[dict] = field(default_factory=list)
+
+    def record(self, scenario: str, name: str, ok: bool, detail: str = "",
+               **extra) -> None:
+        self.checks.append(
+            {"scenario": scenario, "name": name, "ok": bool(ok),
+             "detail": detail, **extra}
+        )
+
+    @property
+    def ok(self) -> bool:
+        return all(c["ok"] for c in self.checks)
+
+    @property
+    def failures(self) -> list[dict]:
+        return [c for c in self.checks if not c["ok"]]
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "checks": list(self.checks),
+            "failed": len(self.failures),
+            "total": len(self.checks),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.checks)} check(s), "
+            f"{len(self.failures)} failure(s): "
+            + ("OK" if self.ok else "FAIL")
+        )
+
+
+class _Harness:
+    """Service + HTTP listener on a private event-loop thread.
+
+    The in-src twin of the integration-test harness: the campaign is a
+    shipped tool, so it cannot import from the test tree.
+    """
+
+    def __init__(self, cache_root, **service_kw) -> None:
+        self.cache_root = cache_root
+        self.service_kw = service_kw
+        self.service = None
+        self.port = None
+        self.loop = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self.loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.service = SimulationService(
+            cache_root=self.cache_root, **self.service_kw
+        )
+        self.service.start()
+        server = HttpServer(self.service)
+        self.port = await server.listen_tcp("127.0.0.1", 0)
+        self._ready.set()
+        await self._stop.wait()
+        await server.close()
+        await self.service.stop()
+
+    def __enter__(self) -> "_Harness":
+        self._thread.start()
+        if not self._ready.wait(10):
+            raise RuntimeError("campaign service failed to come up")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(10)
+
+    def client(self, timeout: float) -> ServeClient:
+        return ServeClient(f"http://127.0.0.1:{self.port}", timeout=timeout)
+
+
+class ChaosCampaign:
+    """Run the configured scenarios and collect verdicts."""
+
+    def __init__(self, config: ChaosCampaignConfig) -> None:
+        self.config = config
+        self.log = config.log or (lambda line: None)
+        self._baseline: str | None = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _params(self, length: int | None = None) -> dict:
+        return {
+            "length": length if length is not None else self.config.length,
+            "seed": self.config.run_seed,
+            "workloads": list(self.config.workloads),
+        }
+
+    def _specs(self, length: int | None = None):
+        from repro.analysis.experiments import FIGURE5_DESIGNS
+
+        params = self._params(length)
+        return [
+            simulation_spec(scheme, name, params["length"], params["seed"])
+            for name in params["workloads"]
+            for scheme in FIGURE5_DESIGNS
+        ]
+
+    @staticmethod
+    def _stable_doc(result_envelope: dict) -> str:
+        """The byte-stable text of a result document (minus run meta)."""
+        doc = {
+            k: v
+            for k, v in result_envelope["result"].items()
+            if k != "run"
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+    @contextlib.contextmanager
+    def _chaos(self, plan: ChaosPlan | None):
+        """Install *plan* in-process and export it to spawn workers."""
+        if plan is None:
+            yield None
+            return
+        os.environ[CHAOS_PLAN_ENV] = plan.to_json()
+        injector = ChaosInjector(plan)
+        install(injector)
+        try:
+            yield injector
+        finally:
+            deactivate()
+            os.environ.pop(CHAOS_PLAN_ENV, None)
+
+    def _run_one_job(self, client: ServeClient, params: dict) -> dict:
+        """Submit once and watch to the terminal event.
+
+        Returns ``{"state": ..., "job_id": ...}``; ``state`` is the
+        terminal job state, ``"hung"`` when an event timed out (the
+        invariant violation the campaign exists to catch), or
+        ``"degraded"`` for a 503 refusal.
+        """
+        try:
+            descriptor = client.submit("evaluate", params=params)
+        except ServeError as exc:
+            if exc.status == 503:
+                return {"state": "degraded", "job_id": None,
+                        "error": exc.message}
+            raise
+        job_id = descriptor["job_id"]
+        try:
+            terminal = None
+            for event in client.watch(
+                job_id, timeout=self.config.event_timeout
+            ):
+                if is_terminal_event(event):
+                    terminal = event
+            state = terminal["event"] if terminal else "failed"
+            error = (
+                terminal["data"].get("job", {}).get("error", "")
+                if terminal
+                else "stream ended without a terminal event"
+            )
+        except TimeoutError as exc:
+            # socket.timeout is an alias of TimeoutError on 3.10+.
+            return {"state": "hung", "job_id": job_id, "error": str(exc)}
+        except ServeError as exc:
+            return {"state": "failed", "job_id": job_id, "error": exc.message}
+        return {"state": state, "job_id": job_id, "error": error}
+
+    def _run_to_success(
+        self, client: ServeClient, params: dict, submits: int = 1
+    ) -> tuple[dict | None, list[str]]:
+        """Drive *submits* successful jobs, resubmitting through failures.
+
+        Returns the final successful job's result envelope (or None) and
+        the list of non-fatal problems seen along the way.  A hang is
+        fatal immediately: nothing may block forever.
+        """
+        problems: list[str] = []
+        envelope = None
+        remaining = submits
+        budget = submits + self.config.resubmits
+        while remaining > 0 and budget > 0:
+            budget -= 1
+            run = self._run_one_job(client, params)
+            if run["state"] == "hung":
+                problems.append(f"HANG: {run['error']}")
+                return None, problems
+            if run["state"] == "done":
+                remaining -= 1
+                envelope = client.result(run["job_id"])
+                continue
+            problems.append(
+                f"attempt ended {run['state']}: {run.get('error', '')}"
+            )
+            if run["state"] == "degraded":
+                time.sleep(0.3)
+        if remaining > 0:
+            problems.append(
+                f"{remaining} submit(s) never reached success "
+                f"within the resubmit budget"
+            )
+            return None, problems
+        return envelope, problems
+
+    # -- scenarios -----------------------------------------------------------
+
+    def run(self) -> ChaosCampaignResult:
+        result = ChaosCampaignResult()
+        workdir = self.config.workdir
+        os.makedirs(workdir, exist_ok=True)
+        self.log(f"chaos campaign: baseline run (fault-free) in {workdir}")
+        self._baseline = self._make_baseline(os.path.join(workdir, "baseline"))
+        for scenario in self.config.scenarios:
+            if scenario == "sweep":
+                self._scenario_sweep(result)
+            elif scenario == "resume":
+                self._scenario_resume(result)
+            elif scenario == "breaker":
+                self._scenario_breaker(result)
+            else:
+                raise ValueError(f"unknown chaos scenario {scenario!r}")
+        return result
+
+    def _make_baseline(self, cache_root: str) -> str:
+        with self._chaos(None), _Harness(cache_root, jobs=1) as harness:
+            client = harness.client(self.config.event_timeout)
+            envelope, problems = self._run_to_success(client, self._params())
+            if envelope is None:
+                raise RuntimeError(
+                    f"fault-free baseline failed: {problems}"
+                )
+            return self._stable_doc(envelope)
+
+    def _sweep_table(self) -> list[dict]:
+        if self.config.sites is None:
+            return list(SWEEP_SITES)
+        wanted = set(self.config.sites)
+        table = [s for s in SWEEP_SITES if s["site"] in wanted]
+        unknown = wanted - {s["site"] for s in table}
+        if unknown:
+            raise ValueError(f"unknown sweep site(s): {sorted(unknown)}")
+        return table
+
+    def _scenario_sweep(self, result: ChaosCampaignResult) -> None:
+        for entry in self._sweep_table():
+            site = entry["site"]
+            self.log(f"chaos sweep: {site} hits={list(entry['hits'])}")
+            cache_root = os.path.join(
+                self.config.workdir, f"site-{site.replace('.', '-')}"
+            )
+            plan = ChaosPlan(
+                seed=self.config.seed,
+                schedule={
+                    site: {"hits": list(entry["hits"]),
+                           "params": dict(entry["params"])}
+                },
+            )
+            service_kw = {
+                "jobs": entry.get("jobs", 1),
+                "timeout": entry.get("timeout"),
+                "retries": self.config.retries,
+            }
+            with self._chaos(plan) as injector, _Harness(
+                cache_root, **service_kw
+            ) as harness:
+                client = harness.client(self.config.event_timeout)
+                envelope, problems = self._run_to_success(
+                    client, self._params(), submits=entry.get("submits", 1)
+                )
+                fired = len(injector.fires)
+                retried = (
+                    envelope["job"].get("retried", 0) if envelope else 0
+                )
+            if envelope is None:
+                result.record(
+                    "sweep", site, False,
+                    detail="; ".join(problems) or "no successful run",
+                )
+                continue
+            doc_ok = self._stable_doc(envelope) == self._baseline
+            if entry["evidence"] == "fires":
+                evidence_ok = fired >= 1
+                evidence = f"{fired} in-process fire(s)"
+            else:
+                evidence_ok = retried >= 1 or fired >= 1
+                evidence = f"{retried} supervision retr(y/ies), {fired} fire(s)"
+            detail = (
+                f"{evidence}; doc {'matches' if doc_ok else 'DIFFERS FROM'} "
+                "baseline"
+            )
+            if problems:
+                detail += f"; retried through: {problems}"
+            result.record(
+                "sweep", site, doc_ok and evidence_ok, detail=detail,
+                fires=fired, retried=retried, attempts_failed=len(problems),
+            )
+
+    def _scenario_resume(self, result: ChaosCampaignResult) -> None:
+        """Exactly-once across an interrupted sweep and a restart."""
+        self.log("chaos resume: interrupted sweep, lost cache, restart")
+        cache_root = os.path.join(self.config.workdir, "resume")
+        specs = self._specs()
+        cache = ResultCache(cache_root, fingerprint=code_fingerprint())
+        journal_path = sweep_journal_path(cache, "serve-evaluate", specs)
+        # A "previous daemon" completed two cells, then died; its cache
+        # was lost too (the harder path) — only the journal survives.
+        with RunJournal(journal_path, cache.fingerprint) as journal:
+            run_specs(specs[:2], jobs=1, cache=cache, journal=journal)
+        shutil.rmtree(cache.results_dir)
+
+        with self._chaos(None), _Harness(cache_root, jobs=1) as harness:
+            client = harness.client(self.config.event_timeout)
+            envelope, problems = self._run_to_success(client, self._params())
+        if envelope is None:
+            result.record("resume", "resume", False,
+                          detail="; ".join(problems))
+            return
+        job = envelope["job"]
+        accounting_ok = (
+            job["journal_hits"] == 2
+            and job["executed"] == len(specs) - 2
+            and job["done"] == len(specs)
+        )
+        # The journal itself is the exactly-once witness: one fresh
+        # (non-cached) record per spec, covering every spec exactly once.
+        fresh: dict[str, int] = {}
+        with open(journal_path, "rb") as handle:
+            for line in handle.read().splitlines():
+                record = json.loads(line)
+                if "spec_hash" in record and not record.get("cached"):
+                    fresh[record["spec_hash"]] = (
+                        fresh.get(record["spec_hash"], 0) + 1
+                    )
+        all_hashes = {s.spec_hash() for s in specs}
+        once_ok = (
+            set(fresh) == all_hashes
+            and all(count == 1 for count in fresh.values())
+        )
+        doc_ok = self._stable_doc(envelope) == self._baseline
+        result.record(
+            "resume", "resume", accounting_ok and once_ok and doc_ok,
+            detail=(
+                f"journal_hits={job['journal_hits']} "
+                f"executed={job['executed']} done={job['done']}; "
+                f"{len(fresh)}/{len(all_hashes)} cells journaled fresh "
+                f"exactly once: {once_ok}; doc matches baseline: {doc_ok}"
+            ),
+        )
+
+    def _scenario_breaker(self, result: ChaosCampaignResult) -> None:
+        """Trip the breaker, verify cache-only mode, recover by probe."""
+        self.log("chaos breaker: trip, degrade to cache-only, recover")
+        cache_root = os.path.join(self.config.workdir, "breaker")
+        plan = ChaosPlan(
+            seed=self.config.seed,
+            schedule={"serve.exec_error": {"hits": [2, 3], "params": {}}},
+        )
+        cooldown = 1.5
+        with self._chaos(plan), _Harness(
+            cache_root, jobs=1, retries=0,
+            breaker_threshold=2, breaker_cooldown=cooldown,
+        ) as harness:
+            client = harness.client(self.config.event_timeout)
+            # Visit 1: clean — warms the cache for the degraded check.
+            warmup = self._run_one_job(client, self._params())
+            # Visits 2 and 3 fail; the second consecutive failure trips.
+            fail_1 = self._run_one_job(client, self._params(self.config.length + 1))
+            fail_2 = self._run_one_job(client, self._params(self.config.length + 2))
+            tripped = harness.service.breaker.state == "open"
+            # Cold work is refused with 503 + Retry-After...
+            cold = self._run_one_job(client, self._params(self.config.length + 3))
+            try:
+                client.readyz()
+                ready_degraded = False
+            except ServeError as exc:
+                ready_degraded = exc.status == 503
+            healthz_alive = client.healthz()["status"] == "degraded"
+            # ...while warm work is still served from the cache.
+            warm = self._run_one_job(client, self._params())
+            # After the cooldown, the next cold submit is the half-open
+            # probe; visit 4+ is clean, so it closes the breaker.
+            time.sleep(cooldown + 0.2)
+            probe = self._run_one_job(client, self._params(self.config.length + 4))
+            recovered = harness.service.breaker.state == "closed"
+            try:
+                ready_after = client.readyz()["status"] == "ready"
+            except ServeError:
+                ready_after = False
+            breaker = harness.service.breaker.snapshot()
+        checks = {
+            "warmup done": warmup["state"] == "done",
+            "two failures": fail_1["state"] == "failed"
+            and fail_2["state"] == "failed",
+            "breaker tripped": tripped,
+            "cold refused 503": cold["state"] == "degraded",
+            "readyz 503 while degraded": ready_degraded,
+            "healthz still live": healthz_alive,
+            "warm served in degraded mode": warm["state"] == "done",
+            "probe closed the breaker": probe["state"] == "done" and recovered,
+            "readyz ready after recovery": ready_after,
+        }
+        failed = [name for name, ok in checks.items() if not ok]
+        result.record(
+            "breaker", "breaker", not failed,
+            detail=("all checks passed" if not failed
+                    else f"failed: {failed}"),
+            breaker=breaker,
+        )
+
+
+def run_campaign(config: ChaosCampaignConfig) -> ChaosCampaignResult:
+    """Module-level entry point used by the CLI."""
+    return ChaosCampaign(config).run()

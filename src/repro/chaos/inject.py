@@ -1,0 +1,91 @@
+"""The process-global chaos injector behind :func:`chaos_fire`.
+
+Instrumented code calls ``chaos_fire("component.step")`` at each
+injection point.  With no plan armed the call is a tuple-compare and a
+return — cheap enough to leave in production paths.  With a plan armed
+(explicitly via :func:`install`, or inherited through the
+``CCNVM_CHAOS_PLAN`` environment variable, which is how ``spawn``
+worker processes pick it up) the injector counts per-process visits
+and returns the site's parameter dict exactly at the scheduled visit
+numbers; the instrumented code then performs the failure itself —
+exiting, sleeping, corrupting, raising — so each site's semantics live
+next to the code they break.
+
+The env-var lookup happens once per process (lazily, on the first
+``chaos_fire``); tests that mutate the environment afterwards must
+call :func:`reset` to force a re-read.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+
+from repro.chaos.plan import ChaosPlan
+
+
+class ChaosInjector:
+    """Counts per-site visits and fires a plan's scheduled failures."""
+
+    def __init__(self, plan: ChaosPlan) -> None:
+        self.plan = plan
+        #: Visits per site in this process (scheduled or not — the
+        #: counts double as site-coverage discovery).
+        self.hits: Counter[str] = Counter()
+        #: Log of every fired injection: {site, hit, params}.
+        self.fires: list[dict] = []
+
+    def fire(self, site_name: str) -> dict | None:
+        """Count one visit; the site's params exactly when it fires."""
+        self.hits[site_name] += 1
+        entry = self.plan.schedule.get(site_name)
+        if entry is None or self.hits[site_name] not in entry["hits"]:
+            return None
+        params = dict(entry["params"])
+        self.fires.append(
+            {"site": site_name, "hit": self.hits[site_name], "params": params}
+        )
+        return params
+
+
+#: Three states: _UNSET (read CCNVM_CHAOS_PLAN on first use), None
+#: (explicitly off, env ignored), or the live injector.
+_UNSET = object()
+_active: object = _UNSET
+
+
+def install(plan: ChaosPlan | ChaosInjector) -> ChaosInjector:
+    """Arm *plan* in this process; returns the live injector."""
+    global _active
+    injector = plan if isinstance(plan, ChaosInjector) else ChaosInjector(plan)
+    _active = injector
+    return injector
+
+
+def deactivate() -> None:
+    """Disarm chaos in this process (the environment is ignored too)."""
+    global _active
+    _active = None
+
+
+def reset() -> None:
+    """Forget any installed injector; re-read the environment next time."""
+    global _active
+    _active = _UNSET
+
+
+def active() -> ChaosInjector | None:
+    """The live injector, arming from the environment on first use."""
+    global _active
+    if _active is _UNSET:
+        plan = ChaosPlan.from_env(os.environ)
+        _active = None if plan is None else ChaosInjector(plan)
+    return _active  # type: ignore[return-value]
+
+
+def chaos_fire(site_name: str) -> dict | None:
+    """The injection hook: params when *site_name* fires, else ``None``."""
+    injector = active()
+    if injector is None:
+        return None
+    return injector.fire(site_name)

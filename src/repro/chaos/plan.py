@@ -1,0 +1,243 @@
+"""Infrastructure chaos-site registry and seeded injection plans.
+
+The faults subsystem (:mod:`repro.faults.plan`) crashes the *modeled*
+NVM at named micro-steps; this module does the same for the *host*
+stack that serves the simulations — worker processes, the on-disk
+result cache, the run journal, and the daemon's HTTP surface.  Every
+injectable failure carries a dotted site name (``component.step``),
+the registry below is the single source of truth for what exists, and
+a drift test asserts that the set of ``chaos_fire("...")`` call sites
+in the source tree equals the registry, both directions — exactly the
+discipline the fault-site registry already enforces.
+
+A :class:`ChaosPlan` is a seeded, deterministic schedule: for each
+site, the 1-based visit numbers at which it fires (per process) plus
+optional parameters (hang duration, exit code, ...).  Plans serialize
+to canonical JSON and travel in the ``CCNVM_CHAOS_PLAN`` environment
+variable, which ``spawn`` worker processes inherit — the same plan
+governs every process of a run, so a chaos campaign is reproducible
+from its seed alone.
+
+Site semantics (what breaks when the site fires):
+
+=======================  ====================================================
+site                     failure
+=======================  ====================================================
+``pool.worker_crash``    the worker process dies outright (``os._exit``)
+                         before touching the spec — the parent only
+                         learns via the chunk deadline
+``pool.worker_hang``     the worker sleeps past any reasonable deadline
+``pool.result_corrupt``  the result payload is mutated after its
+                         integrity digest was taken (torn IPC)
+``cache.put_eio``        the cache write fails with ``EIO``
+``cache.put_enospc``     the cache write fails with ``ENOSPC``
+``cache.put_torn``       the cache writer dies mid-write, orphaning a
+                         partial ``*.tmp`` file
+``cache.get_missing``    a present entry reads as a miss (lost
+                         generation / evicted underfoot)
+``journal.append_torn``  the journal append is cut mid-record
+``journal.fsync_fail``   the post-append fsync fails (durability of the
+                         record is unknown; it is discarded)
+``serve.exec_error``     the executor raises before running the job
+``serve.conn_drop``      the server drops the SSE connection mid-stream
+``serve.slow_loris``     the server stalls between SSE events
+=======================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+#: Environment variable carrying the active plan as canonical JSON.
+#: ``spawn`` workers inherit the parent's environment, so setting this
+#: before a run deterministically arms every process of that run.
+CHAOS_PLAN_ENV = "CCNVM_CHAOS_PLAN"
+
+
+class ChaosError(RuntimeError):
+    """An injected infrastructure failure (the host-stack analogue of
+    :class:`~repro.faults.plan.PowerFailure`)."""
+
+    def __init__(self, site: str) -> None:
+        super().__init__(f"injected infrastructure fault at {site}")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class ChaosSite:
+    """One injectable infrastructure failure point."""
+
+    name: str
+    component: str  # 'pool' | 'cache' | 'journal' | 'serve'
+    description: str
+    #: Whether a supervised stack is expected to retry this to success.
+    retryable: bool = True
+
+
+SITES: tuple[ChaosSite, ...] = (
+    ChaosSite(
+        "pool.worker_crash",
+        "pool",
+        "worker process exits hard before executing the spec",
+    ),
+    ChaosSite(
+        "pool.worker_hang",
+        "pool",
+        "worker sleeps past the chunk deadline",
+    ),
+    ChaosSite(
+        "pool.result_corrupt",
+        "pool",
+        "result payload mutated after its integrity digest (torn IPC)",
+    ),
+    ChaosSite(
+        "cache.put_eio",
+        "cache",
+        "cache write fails with EIO before the temp file exists",
+    ),
+    ChaosSite(
+        "cache.put_enospc",
+        "cache",
+        "cache write fails with ENOSPC before the temp file exists",
+    ),
+    ChaosSite(
+        "cache.put_torn",
+        "cache",
+        "cache writer dies mid-write, orphaning a partial *.tmp",
+    ),
+    ChaosSite(
+        "cache.get_missing",
+        "cache",
+        "a present entry reads as a miss (generation lost underfoot)",
+    ),
+    ChaosSite(
+        "journal.append_torn",
+        "journal",
+        "journal append cut mid-record (tail truncated back on repair)",
+    ),
+    ChaosSite(
+        "journal.fsync_fail",
+        "journal",
+        "post-append fsync fails; the record's durability is unknown",
+    ),
+    ChaosSite(
+        "serve.exec_error",
+        "serve",
+        "the executor raises before the job runs (feeds the breaker)",
+    ),
+    ChaosSite(
+        "serve.conn_drop",
+        "serve",
+        "the SSE connection is dropped mid-stream",
+        retryable=True,
+    ),
+    ChaosSite(
+        "serve.slow_loris",
+        "serve",
+        "the server stalls between SSE events",
+    ),
+)
+
+ALL_SITE_NAMES: tuple[str, ...] = tuple(s.name for s in SITES)
+
+_BY_NAME = {s.name: s for s in SITES}
+
+
+def site(name: str) -> ChaosSite:
+    """Look one site up by name (raises ``KeyError`` on unknown names)."""
+    return _BY_NAME[name]
+
+
+def sites_for_component(component: str) -> tuple[str, ...]:
+    """The site names belonging to one component, in registry order."""
+    return tuple(s.name for s in SITES if s.component == component)
+
+
+class ChaosPlan:
+    """A deterministic schedule: site -> visit numbers to fire at.
+
+    ``schedule`` maps a registered site name to ``{"hits": [...],
+    "params": {...}}`` where *hits* are the 1-based per-process visit
+    numbers at which the site fires and *params* tune the failure
+    (``hang_seconds``, ``exit_code``, ``delay_seconds``, ...).  Visit
+    counters are per process — a fresh worker starts at visit 1 —
+    which is what makes "fails on the first try, succeeds on the
+    supervised retry in a fresh process" schedules expressible.
+    """
+
+    def __init__(self, seed: int, schedule: dict[str, dict]) -> None:
+        self.seed = int(seed)
+        self.schedule: dict[str, dict] = {}
+        for name in sorted(schedule):
+            entry = schedule[name]
+            if name not in _BY_NAME:
+                raise ValueError(
+                    f"unknown chaos site {name!r}; see repro chaos sites"
+                )
+            hits = sorted({int(h) for h in entry.get("hits", ())})
+            if not hits or hits[0] < 1:
+                raise ValueError(
+                    f"site {name!r} needs 1-based hit numbers, got {hits}"
+                )
+            self.schedule[name] = {
+                "hits": hits,
+                "params": dict(entry.get("params") or {}),
+            }
+        if not self.schedule:
+            raise ValueError("an empty chaos plan never fires")
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        sites: list[str] | tuple[str, ...],
+        fires: int = 1,
+        max_hit: int = 3,
+        params: dict[str, dict] | None = None,
+    ) -> "ChaosPlan":
+        """Seeded plan: each site fires at *fires* visits drawn from
+        ``[1, max_hit]`` — same seed, same schedule, every time."""
+        rng = random.Random(int(seed))
+        schedule = {}
+        for name in sorted(set(sites)):
+            pool = list(range(1, max(1, int(max_hit)) + 1))
+            rng.shuffle(pool)
+            schedule[name] = {
+                "hits": sorted(pool[: max(1, int(fires))]),
+                "params": dict((params or {}).get(name) or {}),
+            }
+        return cls(seed, schedule)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "schedule": self.schedule}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosPlan":
+        return cls(data.get("seed", 0), data.get("schedule", {}))
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys, compact) — the env-var payload."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChaosPlan":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_env(cls, environ) -> "ChaosPlan | None":
+        """The plan armed in *environ*, or ``None`` when chaos is off."""
+        text = environ.get(CHAOS_PLAN_ENV)
+        if not text:
+            return None
+        return cls.from_json(text)
+
+    def describe(self) -> str:
+        parts = [
+            f"{name}@{','.join(str(h) for h in entry['hits'])}"
+            for name, entry in self.schedule.items()
+        ]
+        return f"seed {self.seed}: " + " ".join(parts)

@@ -696,6 +696,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         port_file=args.port_file,
         log_file=args.log_file,
         quiet=args.quiet,
+        timeout=args.timeout,
+        retries=args.retries,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     return run_daemon(config)
 
@@ -716,6 +720,13 @@ def _print_serve_event(event: dict) -> None:
         print(f"  {data['summary']}")
     elif kind == "failed":
         print(f"  FAILED: {data['job'].get('error', 'unknown error')}")
+    elif kind == "deadline":
+        print(f"  DEADLINE: {data['job'].get('error', 'deadline exceeded')}")
+    elif kind == "chaos":
+        fires = ", ".join(
+            f"{f['site']}@{f['hit']}" for f in data.get("fires", [])
+        )
+        print(f"  [chaos] injected fault(s) fired: {fires}")
     else:
         print(f"  [{kind}] job {data['job']['job_id']} "
               f"(shard {data['job']['shard']})")
@@ -762,12 +773,15 @@ def cmd_client_submit(args: argparse.Namespace) -> int:
         print("event stream ended without a terminal event", file=sys.stderr)
         return 1
     job = terminal["data"]["job"]
-    if terminal["event"] == "failed":
-        print(f"job failed: {job.get('error', 'unknown error')}", file=sys.stderr)
+    if terminal["event"] in ("failed", "deadline"):
+        print(f"job {terminal['event']}: {job.get('error', 'unknown error')}",
+              file=sys.stderr)
         return 1
+    retried = (f", {job['retried']} retried"
+               if job.get("retried") else "")
     print(f"result: {job['executed']} executed, {job['cache_hits']} from cache, "
           f"{job['journal_hits']} from journal, {job['coalesced']} coalesced "
-          f"rider(s)")
+          f"rider(s){retried}")
     if args.json:
         envelope = client.result(descriptor["job_id"])
         document = envelope["result"]
@@ -834,6 +848,83 @@ def cmd_client_status(args: argparse.Namespace) -> int:
           f"{stats['stores']} stores, {stats['gc_reclaimed_bytes']} bytes "
           f"reclaimed over {stats['gc_runs']} gc run(s)")
     return 0
+
+
+def cmd_chaos_sites(args: argparse.Namespace) -> int:
+    from repro.chaos.plan import SITES
+
+    print(f"{len(SITES)} chaos site(s):")
+    for site in SITES:
+        retry = "retryable" if site.retryable else "terminal"
+        print(f"  {site.name:<24} [{site.component}] ({retry})")
+        print(f"      {site.description}")
+    return 0
+
+
+def cmd_chaos_plan(args: argparse.Namespace) -> int:
+    from repro.chaos.plan import ALL_SITE_NAMES, CHAOS_PLAN_ENV, ChaosPlan
+
+    schedule = {}
+    for spec in args.site or []:
+        name, _, hits_text = spec.partition(":")
+        if not hits_text:
+            print(f"--site needs name:hit1[,hit2...], got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        try:
+            hits = [int(h) for h in hits_text.split(",")]
+        except ValueError:
+            print(f"bad hit list in {spec!r}", file=sys.stderr)
+            return 2
+        schedule[name] = {"hits": hits, "params": {}}
+    try:
+        if schedule:
+            plan = ChaosPlan(seed=args.seed, schedule=schedule)
+        else:
+            plan = ChaosPlan.generate(args.seed, ALL_SITE_NAMES, fires=args.fires)
+    except ValueError as exc:
+        print(f"bad plan: {exc}", file=sys.stderr)
+        return 2
+    print(plan.to_json())
+    print(f"# export {CHAOS_PLAN_ENV}='{plan.to_json()}'", file=sys.stderr)
+    return 0
+
+
+def cmd_chaos_run(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.chaos.campaign import ChaosCampaignConfig, run_campaign
+
+    log = (lambda line: None) if args.quiet else (
+        lambda line: print(f"[chaos] {line}", file=sys.stderr, flush=True)
+    )
+    workdir = args.workdir or tempfile.mkdtemp(prefix="repro-chaos-")
+    config = ChaosCampaignConfig(
+        workdir=workdir,
+        seed=args.seed,
+        length=args.length,
+        sites=tuple(args.sites) if args.sites else None,
+        scenarios=tuple(args.scenarios),
+        retries=args.retries,
+        event_timeout=args.event_timeout,
+        log=log,
+    )
+    try:
+        result = run_campaign(config)
+    except (RuntimeError, ValueError) as exc:
+        print(f"chaos campaign aborted: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(result.to_dict(), f, indent=2, sort_keys=True)
+        log(f"wrote campaign report to {args.json}")
+    for check in result.checks:
+        mark = "ok " if check["ok"] else "FAIL"
+        print(f"  [{mark}] {check['scenario']}/{check['name']}: "
+              f"{check['detail']}")
+    print(f"chaos campaign: {result.summary()}")
+    return 0 if result.ok else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -1173,6 +1264,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append the daemon log here")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress the stderr log")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-spec execution timeout in seconds")
+    serve.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="supervision retries for retryable failures "
+                            "(worker death/hang/torn IPC)")
+    serve.add_argument("--breaker-threshold", type=int, default=5, metavar="K",
+                       help="consecutive job failures before degrading to "
+                            "cache-only mode")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="S",
+                       help="seconds before the degraded service probes "
+                            "the execution path again")
     serve.set_defaults(func=cmd_serve)
 
     client = sub.add_parser(
@@ -1221,6 +1324,53 @@ def build_parser() -> argparse.ArgumentParser:
     cstatus.add_argument("--json", action="store_true",
                          help="emit the machine-readable status document")
     cstatus.set_defaults(func=cmd_client_status)
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic infrastructure-fault injection"
+    )
+    chsub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chsites = chsub.add_parser(
+        "sites", help="list the registered chaos injection sites"
+    )
+    chsites.set_defaults(func=cmd_chaos_sites)
+    chplan = chsub.add_parser(
+        "plan", help="emit a seeded chaos plan as canonical JSON "
+                     "(export it via CCNVM_CHAOS_PLAN)"
+    )
+    chplan.add_argument("--seed", type=int, default=7)
+    chplan.add_argument("--site", action="append", metavar="NAME:HIT[,HIT]",
+                        help="schedule one site at the given 1-based visit "
+                             "number(s); repeatable (default: a generated "
+                             "plan over every site)")
+    chplan.add_argument("--fires", type=int, default=1,
+                        help="fires per site for generated plans")
+    chplan.set_defaults(func=cmd_chaos_plan)
+    chrun = chsub.add_parser(
+        "run", help="chaos campaign: sweep fault sites against the real "
+                    "service and assert the robustness invariants"
+    )
+    chrun.add_argument("--seed", type=int, default=7)
+    chrun.add_argument("--length", type=int, default=120,
+                       help="trace length per simulation cell")
+    chrun.add_argument("--sites", nargs="+", metavar="NAME", default=None,
+                       help="restrict the sweep to these sites")
+    chrun.add_argument("--scenarios", nargs="+",
+                       choices=("sweep", "resume", "breaker"),
+                       default=["sweep", "resume", "breaker"])
+    chrun.add_argument("--retries", type=int, default=2,
+                       help="supervision retries in the service under test")
+    chrun.add_argument("--event-timeout", type=float, default=60.0,
+                       metavar="S",
+                       help="per-event watch timeout; exceeding it is "
+                            "recorded as a hang")
+    chrun.add_argument("--workdir", default=None, metavar="DIR",
+                       help="campaign scratch directory (default: a fresh "
+                            "temp dir)")
+    chrun.add_argument("--json", metavar="FILE", default=None,
+                       help="write the machine-readable campaign report")
+    chrun.add_argument("--quiet", action="store_true",
+                       help="suppress progress logging")
+    chrun.set_defaults(func=cmd_chaos_run)
 
     lint = sub.add_parser("lint", help="persistence-domain static analysis")
     lint.add_argument("--root", default=None, metavar="DIR",

@@ -20,12 +20,14 @@ which is what ``repro runs status --json`` reports and CI asserts on.
 
 from __future__ import annotations
 
+import errno
 import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 
+from repro.chaos.inject import chaos_fire
 from repro.common.persistence import persistence
 from repro.runs.spec import RunSpec
 
@@ -145,6 +147,11 @@ class ResultCache:
         unreadable entry is removed rather than trusted).
         """
         path = self.path_for(spec)
+        if chaos_fire("cache.get_missing") is not None:
+            # The entry "vanished" underfoot (lost generation, eviction
+            # race): a forced miss, which the journal then covers.
+            self.misses += 1
+            return None
         try:
             envelope = json.loads(path.read_text(encoding="utf-8"))
         except FileNotFoundError:
@@ -166,10 +173,41 @@ class ResultCache:
         self.hits += 1
         return envelope["payload"]
 
+    def contains(self, spec: RunSpec) -> bool:
+        """Peek: whether a current-generation entry exists on disk.
+
+        No counters, no reads — used by the service's degraded
+        (cache-only) admission check, which must not perturb the
+        hit/miss statistics or trust the entry's contents.
+        """
+        return self.path_for(spec).is_file()
+
     def put(self, spec: RunSpec, payload) -> Path:
         """Store *payload* for *spec* (atomically) and return its path."""
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Spelled out one call per site (not a loop over names) so the
+        # drift test can see every literal site string in the source.
+        if chaos_fire("cache.put_eio") is not None:
+            raise OSError(errno.EIO, "chaos: injected EIO on cache put", str(path))
+        if chaos_fire("cache.put_enospc") is not None:
+            raise OSError(
+                errno.ENOSPC, "chaos: injected ENOSPC on cache put", str(path)
+            )
+        if chaos_fire("cache.put_torn") is not None:
+            # The writer "dies" mid-write: a partial temp file is left
+            # behind (the next gc sweeps it); the entry itself is never
+            # visible because the rename never happened.
+            fd, _tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write('{"torn":')
+            raise OSError(
+                errno.EIO,
+                "chaos: cache writer died mid-put (orphan *.tmp left)",
+                str(path),
+            )
         envelope = {
             "format": CACHE_FORMAT,
             "fingerprint": self.fingerprint,

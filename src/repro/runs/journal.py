@@ -16,11 +16,13 @@ figures — so the file is restarted from scratch.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import time
 from pathlib import Path
 
+from repro.chaos.inject import chaos_fire
 from repro.common.persistence import persistence
 from repro.runs.spec import RunSpec
 
@@ -30,7 +32,7 @@ JOURNAL_FORMAT = 1
 
 @persistence(
     persistent=("records",),
-    volatile=("_handle",),
+    volatile=("_handle", "_good_bytes"),
     aka=("journal",),
     mutators=("record", "close"),
 )
@@ -39,6 +41,12 @@ class RunJournal:
 
     ``records`` mirrors the on-disk file (it is rebuilt from disk on
     open, so it survives a crash); the open file ``_handle`` does not.
+    ``_good_bytes`` tracks the byte offset of the last fully-fsynced
+    record boundary: a failed append (torn write, failed fsync)
+    truncates the file back to it before re-raising, so an in-process
+    IO failure leaves the journal exactly as resumable as a crash
+    would — the write-ordering discipline of the modeled NVM, applied
+    to the host's own durable state.
     """
 
     def __init__(self, path: Path | str, fingerprint: str) -> None:
@@ -49,15 +57,17 @@ class RunJournal:
         #: Records loaded from a previous interrupted session.
         self.resumed = 0
         self._handle = None
+        self._good_bytes = 0
         self._open()
 
     def _open(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        good_lines = self._load()
-        if good_lines is None:
+        good_bytes = self._load()
+        if good_bytes is None:
             # New file, wrong fingerprint or unreadable header: restart.
             self.records = {}
-            self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle = open(self.path, "wb")
+            self._good_bytes = 0
             header = {
                 "format": JOURNAL_FORMAT,
                 "fingerprint": self.fingerprint,
@@ -66,10 +76,11 @@ class RunJournal:
             self._append_line(header)
         else:
             # Resume: drop any torn trailing line, then append.
-            with open(self.path, "r+", encoding="utf-8") as handle:
-                handle.truncate(good_lines)
+            with open(self.path, "rb+") as handle:
+                handle.truncate(good_bytes)
             self.resumed = len(self.records)
-            self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle = open(self.path, "ab")
+            self._good_bytes = good_bytes
 
     def _load(self):
         """Read the journal; return the byte length of the intact prefix.
@@ -103,9 +114,41 @@ class RunJournal:
         return good if header_seen else None
 
     def _append_line(self, obj: dict) -> None:
-        self._handle.write(json.dumps(obj, sort_keys=True) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        data = (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+        action = chaos_fire("journal.append_torn")
+        if action is not None:
+            # The writer "dies" mid-record: half the bytes land, then
+            # the failure surfaces.  _repair() truncates the torn tail
+            # back to the last good boundary before re-raising.
+            self._handle.write(data[: max(1, len(data) // 2)])
+            self._repair()
+            raise OSError(
+                errno.EIO,
+                f"chaos: torn append to {self.path.name} (tail truncated back)",
+            )
+        try:
+            self._handle.write(data)
+            self._handle.flush()
+            action = chaos_fire("journal.fsync_fail")
+            if action is not None:
+                raise OSError(
+                    errno.EIO,
+                    f"chaos: fsync failed on {self.path.name} "
+                    "(record durability unknown, discarded)",
+                )
+            os.fsync(self._handle.fileno())
+        except OSError:
+            self._repair()
+            raise
+        self._good_bytes += len(data)
+
+    def _repair(self) -> None:
+        """Truncate a torn/unsynced tail back to the last good record."""
+        try:
+            self._handle.flush()
+        except OSError:
+            pass
+        os.ftruncate(self._handle.fileno(), self._good_bytes)
 
     # -- the journaling protocol -------------------------------------------
 
@@ -139,8 +182,10 @@ class RunJournal:
         }
         if error:
             entry["error"] = error
-        self.records[entry["spec_hash"]] = entry
+        # Disk first: a failed append must not leave an in-memory record
+        # the on-disk journal does not hold.
         self._append_line(entry)
+        self.records[entry["spec_hash"]] = entry
         return entry
 
     def close(self) -> None:

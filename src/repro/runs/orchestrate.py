@@ -18,6 +18,7 @@ baseline of two figures) costs one execution.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,6 +39,15 @@ class RunReport:
     cache_hits: int = 0
     journal_hits: int = 0
     failed: int = 0
+    #: Specs re-run by the supervisor (chunk-timeout re-dispatch inside
+    #: the pool plus retry rounds at this level).
+    retried: int = 0
+    #: Cache puts that still failed after their own retry budget; the
+    #: result stays durable in the journal, so these are non-fatal.
+    cache_put_errors: int = 0
+    #: Journal appends that failed (the journal truncates itself back
+    #: to the last good record); the cache still holds the result.
+    journal_errors: int = 0
     wall_seconds: float = 0.0
 
     def payload(self, spec: RunSpec):
@@ -68,10 +78,11 @@ class RunReport:
             )
 
     def summary(self) -> str:
+        retried = f", {self.retried} retried" if self.retried else ""
         return (
             f"{len(self.outcomes)} specs: {self.executed} executed, "
             f"{self.cache_hits} from cache, {self.journal_hits} from journal, "
-            f"{self.failed} failed in {self.wall_seconds:.2f}s"
+            f"{self.failed} failed{retried} in {self.wall_seconds:.2f}s"
         )
 
 
@@ -98,14 +109,33 @@ def run_specs(
     timeout: float | None = None,
     chunk: int | None = None,
     progress=None,
+    retries: int = 0,
+    backoff_base: float = 0.05,
+    backoff_cap: float = 2.0,
 ) -> RunReport:
     """Resolve every spec through cache, journal, then the worker pool.
 
     *progress*, when given, is called as ``progress(outcome, done, total)``
     for every resolved spec (cache and journal hits included).
+
+    *retries* is the supervision budget for **retryable** outcomes
+    (worker death, hang, torn IPC — never an error raised inside the
+    spec itself): each retry round re-runs the survivors at ``chunk=1``
+    in a fresh pool with pristine worker processes, after an
+    exponential backoff with jitter (*backoff_base* doubling per round,
+    capped at *backoff_cap* seconds).  A spec's outcome is journaled,
+    cached and reported exactly once — its final one.
+
+    Transient IO failures on the durable stores are tolerated and
+    counted rather than fatal: a failed cache put leaves the result in
+    the journal (``cache_put_errors``), a failed journal append leaves
+    it in the cache (``journal_errors``) — losing *both* on the same
+    record would take two independent failures.
     """
     started = time.perf_counter()
     report = RunReport()
+    # Jitter only — never on any result-producing path.
+    rng = random.Random(0xC4A05)
 
     ordered: list[RunSpec] = []
     seen: set[str] = set()
@@ -123,6 +153,27 @@ def run_specs(
         if progress is not None:
             progress(outcome, len(report.outcomes), total)
 
+    def put_tolerant(spec: RunSpec, payload) -> None:
+        """Cache put with its own small retry budget for transient IO."""
+        for attempt in range(3):
+            try:
+                cache.put(spec, payload)
+                return
+            except OSError:
+                if attempt == 2:
+                    report.cache_put_errors += 1
+                else:
+                    time.sleep(
+                        min(backoff_cap, backoff_base * (2 ** attempt))
+                        * rng.random()
+                    )
+
+    def record_tolerant(spec: RunSpec, *args, **kwargs) -> None:
+        try:
+            journal.record(spec, *args, **kwargs)
+        except OSError:
+            report.journal_errors += 1
+
     pending: list[RunSpec] = []
     for spec in ordered:
         spec_hash = spec.spec_hash()
@@ -131,7 +182,7 @@ def run_specs(
             if payload is not None:
                 report.cache_hits += 1
                 if journal is not None and journal.completed(spec_hash) is None:
-                    journal.record(spec, "done", payload, cached=True)
+                    record_tolerant(spec, "done", payload, cached=True)
                 emit(RunOutcome(spec, "done", payload=payload, source="cache"))
                 continue
         if journal is not None:
@@ -139,7 +190,7 @@ def run_specs(
             if record is not None:
                 report.journal_hits += 1
                 if cache is not None:
-                    cache.put(spec, record["payload"])
+                    put_tolerant(spec, record["payload"])
                 emit(
                     RunOutcome(
                         spec,
@@ -152,10 +203,10 @@ def run_specs(
                 continue
         pending.append(spec)
 
-    def on_result(outcome: RunOutcome) -> None:
+    def finalize(outcome: RunOutcome) -> None:
         report.executed += 1
         if journal is not None:
-            journal.record(
+            record_tolerant(
                 outcome.spec,
                 outcome.status,
                 outcome.payload,
@@ -163,12 +214,37 @@ def run_specs(
                 error=outcome.error,
             )
         if cache is not None and outcome.ok:
-            cache.put(outcome.spec, outcome.payload)
+            put_tolerant(outcome.spec, outcome.payload)
         emit(outcome)
 
-    if pending:
-        pool = WorkerPool(jobs=jobs, timeout=timeout, chunk=chunk)
-        pool.run(pending, on_result=on_result)
+    to_run = pending
+    attempt = 0
+    while to_run:
+        final_round = attempt >= max(0, retries)
+        deferred: list[RunSpec] = []
+
+        def on_result(outcome, _final=final_round, _deferred=deferred):
+            if outcome.ok or not outcome.retryable or _final:
+                finalize(outcome)
+            else:
+                _deferred.append(outcome.spec)
+
+        pool = WorkerPool(
+            jobs=jobs,
+            timeout=timeout,
+            # Retry rounds isolate at chunk=1 in pristine processes.
+            chunk=chunk if attempt == 0 else 1,
+            max_tasks_per_child=None if attempt == 0 else 1,
+        )
+        pool.run(to_run, on_result=on_result)
+        report.retried += pool.redispatched
+        if not deferred:
+            break
+        attempt += 1
+        report.retried += len(deferred)
+        delay = min(backoff_cap, backoff_base * (2 ** (attempt - 1)))
+        time.sleep(delay * (0.5 + rng.random()))
+        to_run = deferred
 
     if cache is not None:
         cache.flush_stats()
@@ -185,6 +261,7 @@ def orchestrate(
     timeout: float | None = None,
     chunk: int | None = None,
     progress=None,
+    retries: int = 0,
 ) -> RunReport:
     """The common CLI/driver wrapper around :func:`run_specs`.
 
@@ -196,7 +273,12 @@ def orchestrate(
     """
     if not use_cache:
         return run_specs(
-            specs, jobs=jobs, timeout=timeout, chunk=chunk, progress=progress
+            specs,
+            jobs=jobs,
+            timeout=timeout,
+            chunk=chunk,
+            progress=progress,
+            retries=retries,
         )
     cache = ResultCache(cache_root, fingerprint=code_fingerprint())
     with RunJournal(sweep_journal_path(cache, name, specs), cache.fingerprint) as journal:
@@ -208,4 +290,5 @@ def orchestrate(
             timeout=timeout,
             chunk=chunk,
             progress=progress,
+            retries=retries,
         )

@@ -21,19 +21,38 @@ Dispatch is chunked (several specs per task) to amortize process startup
 and IPC; ``chunk=1`` gives the finest isolation, larger chunks less
 overhead.  With ``jobs <= 1`` everything runs inline in the parent —
 same code path through :func:`execute_spec`, no processes at all.
+
+When a chunk of several specs times out, only one of them is typically
+at fault; by default the pool re-dispatches the whole chunk once at
+``chunk=1`` in a fresh pool (one process per spec), so the innocent
+chunk-mates complete and only the genuinely hung/crashed spec comes
+back as ``timeout``.  Results additionally carry an integrity digest
+taken in the worker before IPC; a payload that does not match its
+digest in the parent is demoted to a retryable ``corrupt`` outcome
+rather than silently trusted.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro.chaos.inject import chaos_fire
 from repro.runs.spec import RunSpec
 
 #: Grace seconds added on top of a chunk's nominal deadline.
 _TIMEOUT_GRACE = 5.0
+
+
+def payload_digest(payload) -> str:
+    """Content digest of a result payload (canonical JSON, sha256)."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -136,17 +155,40 @@ def execute_spec(spec_dict: dict):
     return _EXECUTORS[spec.kind](spec)
 
 
+def _corrupt_payload(payload, params: dict):
+    """Deterministically damage a payload (chaos ``pool.result_corrupt``)."""
+    if params.get("mode") == "garbage" or not isinstance(payload, dict):
+        return {"__chaos__": "corrupted payload"}
+    keys = sorted(payload)
+    return {k: payload[k] for k in keys[: len(keys) // 2]}
+
+
 def _run_chunk(spec_dicts: list[dict]) -> list[dict]:
     """Worker task: run a chunk of specs, isolating per-spec failures."""
+    # Process-death sites only make sense in an actual worker process;
+    # inline (jobs<=1) execution runs this in the parent, which must
+    # never be exited or stalled by its own chaos plan.
+    in_worker = multiprocessing.parent_process() is not None
     out = []
     for spec_dict in spec_dicts:
+        action = chaos_fire("pool.worker_crash")
+        if action is not None and in_worker:
+            os._exit(int(action.get("exit_code", 70)))
+        action = chaos_fire("pool.worker_hang")
+        if action is not None and in_worker:
+            time.sleep(float(action.get("hang_seconds", 3600.0)))
         started = time.perf_counter()
         try:
             payload = execute_spec(spec_dict)
+            digest = payload_digest(payload)
+            action = chaos_fire("pool.result_corrupt")
+            if action is not None:
+                payload = _corrupt_payload(payload, action)
             out.append(
                 {
                     "status": "done",
                     "payload": payload,
+                    "digest": digest,
                     "duration": time.perf_counter() - started,
                 }
             )
@@ -172,16 +214,50 @@ class RunOutcome:
     """One spec's fate after orchestration."""
 
     spec: RunSpec
-    status: str  # 'done' | 'failed' | 'timeout'
+    status: str  # 'done' | 'failed' | 'timeout' | 'corrupt'
     payload: object = None
     error: str = ""
     duration: float = 0.0
     #: Where the payload came from: 'run' | 'cache' | 'journal'.
     source: str = "run"
+    #: Whether a supervisor should re-run this spec: True for
+    #: infrastructure failures (worker death, hang, torn IPC), False
+    #: for errors raised inside the spec itself (deterministic).
+    retryable: bool = False
 
     @property
     def ok(self) -> bool:
         return self.status == "done"
+
+
+def _raw_outcome(spec: RunSpec, raw: dict) -> RunOutcome:
+    """Build one outcome from a worker's raw result dict.
+
+    A ``done`` payload whose content no longer matches the integrity
+    digest taken in the worker is demoted to a retryable ``corrupt``
+    outcome — torn IPC must never masquerade as a result.
+    """
+    status = raw["status"]
+    payload = raw.get("payload")
+    error = raw.get("error", "")
+    retryable = bool(raw.get("retryable", False))
+    if (
+        status == "done"
+        and "digest" in raw
+        and payload_digest(payload) != raw["digest"]
+    ):
+        status = "corrupt"
+        payload = None
+        error = "result payload failed its integrity digest (torn in transit)"
+        retryable = True
+    return RunOutcome(
+        spec,
+        status,
+        payload=payload,
+        error=error,
+        duration=raw.get("duration", 0.0),
+        retryable=retryable,
+    )
 
 
 @dataclass
@@ -194,8 +270,18 @@ class WorkerPool:
     #: Specs per worker task (None = auto: ~4 tasks per worker).
     chunk: int | None = None
     start_method: str = "spawn"
+    #: Grace seconds on top of each chunk's nominal deadline.
+    grace: float = _TIMEOUT_GRACE
+    #: Re-dispatch a timed-out multi-spec chunk once at chunk=1 so one
+    #: hung spec does not condemn its chunk-mates.
+    redispatch: bool = True
+    #: Worker recycling (``maxtasksperchild``); 1 gives every chunk a
+    #: pristine process.
+    max_tasks_per_child: int | None = None
     #: Outcomes of the last :meth:`run`, in submission order.
     last_outcomes: list[RunOutcome] = field(default_factory=list)
+    #: Specs re-dispatched at chunk=1 after a chunk timeout (cumulative).
+    redispatched: int = 0
 
     def run(self, specs: list[RunSpec], on_result=None) -> list[RunOutcome]:
         """Execute every spec; one outcome per spec, in submission order."""
@@ -213,13 +299,7 @@ class WorkerPool:
         outcomes = []
         for spec in specs:
             raw = _run_chunk([spec.to_dict()])[0]
-            outcome = RunOutcome(
-                spec,
-                raw["status"],
-                payload=raw["payload"],
-                error=raw.get("error", ""),
-                duration=raw["duration"],
-            )
+            outcome = _raw_outcome(spec, raw)
             outcomes.append(outcome)
             if on_result is not None:
                 on_result(outcome)
@@ -234,19 +314,27 @@ class WorkerPool:
         size = self._chunk_size(len(specs))
         chunks = [specs[i:i + size] for i in range(0, len(specs), size)]
         context = multiprocessing.get_context(self.start_method)
-        outcomes: list[RunOutcome] = []
+        #: (submission index, outcome); sorted back before returning.
+        indexed: list[tuple[int, RunOutcome]] = []
+        #: (submission index, spec) of timed-out multi-spec chunk members
+        #: held back for the chunk=1 re-dispatch (not yet reported).
+        suspects: list[tuple[int, RunSpec]] = []
         timed_out = False
-        pool = context.Pool(processes=min(self.jobs, len(chunks)))
+        pool = context.Pool(
+            processes=min(self.jobs, len(chunks)),
+            maxtasksperchild=self.max_tasks_per_child,
+        )
         try:
             pending = [
                 pool.apply_async(_run_chunk, ([s.to_dict() for s in chunk],))
                 for chunk in chunks
             ]
+            base = 0
             for chunk, handle in zip(chunks, pending):
                 deadline = (
                     None
                     if self.timeout is None
-                    else self.timeout * len(chunk) + _TIMEOUT_GRACE
+                    else self.timeout * len(chunk) + self.grace
                 )
                 try:
                     raws = handle.get(deadline)
@@ -259,6 +347,7 @@ class WorkerPool:
                             "duration": deadline or 0.0,
                             "error": f"no result within {deadline:.0f}s "
                             "(worker hung or died)",
+                            "retryable": True,
                         }
                     ] * len(chunk)
                 except Exception:
@@ -270,19 +359,22 @@ class WorkerPool:
                             "payload": None,
                             "duration": 0.0,
                             "error": traceback.format_exc(),
+                            "retryable": True,
                         }
                     ] * len(chunk)
-                for spec, raw in zip(chunk, raws):
-                    outcome = RunOutcome(
-                        spec,
-                        raw["status"],
-                        payload=raw["payload"],
-                        error=raw.get("error", ""),
-                        duration=raw["duration"],
-                    )
-                    outcomes.append(outcome)
+                for offset, (spec, raw) in enumerate(zip(chunk, raws)):
+                    if (
+                        raw["status"] == "timeout"
+                        and self.redispatch
+                        and len(chunk) > 1
+                    ):
+                        suspects.append((base + offset, spec))
+                        continue
+                    outcome = _raw_outcome(spec, raw)
+                    indexed.append((base + offset, outcome))
                     if on_result is not None:
                         on_result(outcome)
+                base += len(chunk)
         finally:
             # A hung worker would block join() forever; terminate instead.
             if timed_out:
@@ -290,4 +382,23 @@ class WorkerPool:
             else:
                 pool.close()
             pool.join()
-        return outcomes
+        if suspects:
+            # Isolate the offender: one fresh process per surviving spec
+            # (maxtasksperchild=1 also resets any per-process chaos
+            # counters, so a scheduled crash does not re-fire here).
+            self.redispatched += len(suspects)
+            retry_pool = WorkerPool(
+                jobs=min(self.jobs, len(suspects)),
+                timeout=self.timeout,
+                chunk=1,
+                start_method=self.start_method,
+                grace=self.grace,
+                redispatch=False,
+                max_tasks_per_child=1,
+            )
+            retried = retry_pool.run([spec for _, spec in suspects])
+            for (index, _spec), outcome in zip(suspects, retried):
+                indexed.append((index, outcome))
+                if on_result is not None:
+                    on_result(outcome)
+        return [outcome for _, outcome in sorted(indexed, key=lambda p: p[0])]

@@ -12,12 +12,15 @@ shares one warm cache:
   shared multi-generation :class:`~repro.runs.cache.ResultCache` with
   eviction, execution through cache → journal → pool, and per-job event
   streams;
+* :mod:`repro.serve.breaker` — the circuit breaker behind cache-only
+  degraded mode and the ``/readyz`` readiness signal;
 * :mod:`repro.serve.http` — the asyncio HTTP / unix-socket front-end;
 * :mod:`repro.serve.client` — the blocking thin client the CLI uses;
 * :mod:`repro.serve.lock` — the one-daemon-per-cache-root pidfile lock;
 * :mod:`repro.serve.daemon` — the ``repro serve`` entry point.
 """
 
+from repro.serve.breaker import CircuitBreaker, ServiceDegradedError
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.daemon import DaemonConfig, run_daemon
 from repro.serve.lock import DaemonLock, DaemonRunningError
@@ -26,6 +29,7 @@ from repro.serve.queue import QueueFullError, QuotaExceededError, ShardedQueue
 from repro.serve.service import Job, SimulationService, job_key
 
 __all__ = [
+    "CircuitBreaker",
     "DaemonConfig",
     "DaemonLock",
     "DaemonRunningError",
@@ -36,6 +40,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "ServeClient",
     "ServeError",
+    "ServiceDegradedError",
     "ShardedQueue",
     "SimulationService",
     "job_key",

@@ -1,0 +1,107 @@
+"""Circuit breaker guarding the daemon's execution path.
+
+When the execution backend fails repeatedly (worker pool wedged, cache
+volume returning EIO, a poisoned code fingerprint), continuing to accept
+cold work just queues more failures behind the first one.  The breaker
+trips after *threshold* **consecutive** job failures and the service
+degrades to cache-only mode: warm submissions (every spec already
+cached) are still served, cold submissions are refused with a 503 and a
+``Retry-After`` hint.  After *cooldown* seconds a single probe job is
+let through (half-open); its success closes the breaker, its failure
+re-trips the cooldown.
+
+The breaker is deliberately not thread-safe on its own: the service
+only touches it from the event loop thread.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class ServiceDegradedError(RuntimeError):
+    """Raised on cold submissions while the breaker is open."""
+
+    def __init__(self, retry_after: float) -> None:
+        #: Seconds until the breaker will admit a probe; HTTP maps this
+        #: to the Retry-After header.
+        self.retry_after = max(0.0, retry_after)
+        super().__init__(
+            "service degraded: execution breaker open, cache-only mode "
+            f"(retry after {self.retry_after:.1f}s)"
+        )
+
+
+class CircuitBreaker:
+    """Classic closed / open / half-open breaker over job outcomes."""
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+        #: Lifetime counters, exposed via status() for observability.
+        self.trips = 0
+        self.probes = 0
+
+    def allow(self) -> bool:
+        """May a cold (uncached) job be admitted right now?
+
+        Transitions open -> half_open when the cooldown has elapsed; in
+        half-open exactly one caller gets True (the probe) until its
+        outcome is recorded.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self.opened_at >= self.cooldown:
+                self.state = "half_open"
+                self.probes += 1
+                return True
+            return False
+        # half_open: the single probe is already in flight.
+        return False
+
+    def record_success(self) -> None:
+        if self.state == "half_open":
+            self.state = "closed"
+            self.opened_at = None
+        self.consecutive_failures = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == "half_open":
+            # The probe failed: straight back to open, fresh cooldown.
+            self.state = "open"
+            self.opened_at = self._clock()
+            self.trips += 1
+        elif self.state == "closed" and self.consecutive_failures >= self.threshold:
+            self.state = "open"
+            self.opened_at = self._clock()
+            self.trips += 1
+
+    def retry_after(self) -> float:
+        """Seconds until the next probe would be admitted (0 if now)."""
+        if self.state != "open" or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (self._clock() - self.opened_at))
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "threshold": self.threshold,
+            "cooldown": self.cooldown,
+            "consecutive_failures": self.consecutive_failures,
+            "retry_after": round(self.retry_after(), 3),
+            "trips": self.trips,
+            "probes": self.probes,
+        }

@@ -8,13 +8,21 @@ the :mod:`repro.serve.protocol` body codecs.
 
 ``watch`` is a generator over the job's server-sent-events stream: it
 yields every event (history replay included) and returns after the
-terminal ``done``/``failed`` event, so ``for event in client.watch(id)``
-is a complete progress loop.
+terminal ``done``/``failed``/``deadline`` event, so ``for event in
+client.watch(id)`` is a complete progress loop.
+
+Transient infrastructure faults are the client's problem too: connects
+retry with exponential backoff while the daemon is still binding its
+socket (``connect_attempts``), and a watch stream that drops without a
+terminal event reconnects and resumes — events carry a per-job ``seq``,
+so the replayed history is deduplicated and the caller sees every event
+exactly once, in order.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 from typing import Iterator
 
 from repro.serve.protocol import (
@@ -42,9 +50,22 @@ class ServeClient:
     """One service endpoint, addressed as ``http://host:port`` or
     ``unix:///path/to/socket``."""
 
-    def __init__(self, server: str, timeout: float = DEFAULT_TIMEOUT) -> None:
+    def __init__(
+        self,
+        server: str,
+        timeout: float = DEFAULT_TIMEOUT,
+        connect_attempts: int = 3,
+        connect_backoff: float = 0.1,
+        watch_resume: int = 3,
+    ) -> None:
         self.server = server
         self.timeout = timeout
+        #: Connect retries (refused / socket-not-there-yet) and their
+        #: initial backoff; the delay doubles per attempt, capped at 2s.
+        self.connect_attempts = max(1, connect_attempts)
+        self.connect_backoff = connect_backoff
+        #: Times one watch() call will reconnect a dropped event stream.
+        self.watch_resume = max(0, watch_resume)
         if server.startswith("unix://"):
             self._unix_path = server[len("unix://"):]
             self._addr = None
@@ -63,7 +84,7 @@ class ServeClient:
 
     # -- transport -----------------------------------------------------------
 
-    def _connect(self, timeout: float | None) -> socket.socket:
+    def _connect_once(self, timeout: float | None) -> socket.socket:
         if self._unix_path is not None:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(timeout)
@@ -71,6 +92,26 @@ class ServeClient:
         else:
             sock = socket.create_connection(self._addr, timeout=timeout)
         return sock
+
+    def _connect(self, timeout: float | None) -> socket.socket:
+        """Connect with a bounded retry budget.
+
+        A daemon that is still starting (socket file not created yet,
+        listener not bound yet) refuses for a few hundred milliseconds;
+        retrying here means every caller — CLI, campaign, tests — gets
+        that grace for free.  Anything other than refused/missing-socket
+        raises immediately.
+        """
+        delay = self.connect_backoff
+        for attempt in range(self.connect_attempts):
+            try:
+                return self._connect_once(timeout)
+            except (ConnectionRefusedError, FileNotFoundError):
+                if attempt == self.connect_attempts - 1:
+                    raise
+                time.sleep(min(2.0, delay))
+                delay *= 2
+        raise AssertionError("unreachable")
 
     def _send(self, sock: socket.socket, method: str, path: str,
               body: dict | None) -> None:
@@ -126,6 +167,15 @@ class ServeClient:
     def status(self) -> dict:
         return self._request("GET", "/v1/status")
 
+    def healthz(self) -> dict:
+        """Liveness document (always 200 while the daemon serves)."""
+        return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """Readiness document; raises :class:`ServeError` 503 when the
+        service is degraded to cache-only mode."""
+        return self._request("GET", "/readyz")
+
     def submit(self, kind: str, client: str = "cli", priority: int = 0,
                specs: list[dict] | None = None,
                params: dict | None = None) -> dict:
@@ -145,12 +195,9 @@ class ServeClient:
     def shutdown(self) -> dict:
         return self._request("POST", "/v1/shutdown")
 
-    def watch(self, job_id: str, timeout: float | None = None) -> Iterator[dict]:
-        """Yield the job's events; returns after the terminal event.
-
-        *timeout* bounds the wait for each individual event, not the
-        whole stream (a cold sweep can stream for minutes).
-        """
+    def _stream(self, job_id: str, timeout: float | None) -> Iterator[dict]:
+        """One SSE connection's worth of events (may end without a
+        terminal event if the server drops the stream)."""
         sock = self._connect(timeout)
         try:
             self._send(sock, "GET", f"/v1/jobs/{job_id}/events", None)
@@ -160,12 +207,43 @@ class ServeClient:
                 raw = reader.read()
                 document = wire_decode(raw) if raw else {}
                 raise ServeError(status, document.get("error", ""))
-            for event in sse_parse(reader):
+            yield from sse_parse(reader)
+        finally:
+            sock.close()
+
+    def watch(self, job_id: str, timeout: float | None = None) -> Iterator[dict]:
+        """Yield the job's events; returns after the terminal event.
+
+        *timeout* bounds the wait for each individual event, not the
+        whole stream (a cold sweep can stream for minutes).
+
+        A stream that ends *without* a terminal event (connection
+        dropped mid-job) is reconnected up to ``watch_resume`` times;
+        each reconnect replays the job's history, so already-yielded
+        events are skipped by their ``seq`` — the caller observes one
+        gapless, strictly-ordered event sequence regardless of how many
+        connections it took.
+        """
+        last_seq = 0
+        delay = self.connect_backoff
+        for attempt in range(self.watch_resume + 1):
+            for event in self._stream(job_id, timeout):
+                seq = int(event.get("seq", 0))
+                if seq <= last_seq:
+                    continue  # history replay of an already-seen event
+                last_seq = seq
                 yield event
                 if is_terminal_event(event):
                     return
-        finally:
-            sock.close()
+            # Stream ended with no terminal event: the connection died.
+            if attempt == self.watch_resume:
+                raise ServeError(
+                    0,
+                    f"event stream for {job_id} dropped "
+                    f"{self.watch_resume + 1} time(s) without a terminal event",
+                )
+            time.sleep(min(2.0, delay))
+            delay *= 2
 
     def run(self, kind: str, client: str = "cli", priority: int = 0,
             specs: list[dict] | None = None, params: dict | None = None,

@@ -47,6 +47,13 @@ class DaemonConfig:
     port_file: str | None = None
     log_file: str | None = None
     quiet: bool = False
+    #: Per-spec execution timeout and supervision retry budget.
+    timeout: float | None = None
+    retries: int = 2
+    #: Circuit breaker: consecutive job failures before degrading to
+    #: cache-only mode, and seconds before the half-open probe.
+    breaker_threshold: int = 5
+    breaker_cooldown: float = 30.0
 
 
 def _make_logger(config: DaemonConfig):
@@ -113,6 +120,10 @@ def run_daemon(config: DaemonConfig) -> int:
         max_generations=config.max_generations,
         max_bytes=config.max_bytes,
         log=log,
+        timeout=config.timeout,
+        retries=config.retries,
+        breaker_threshold=config.breaker_threshold,
+        breaker_cooldown=config.breaker_cooldown,
     )
     try:
         lock = DaemonLock(service.cache.root).acquire()
@@ -124,6 +135,11 @@ def run_daemon(config: DaemonConfig) -> int:
         f"(fingerprint {service.cache.fingerprint}, "
         f"{config.shards} shard(s), quota {config.quota})"
     )
+    from repro.chaos.inject import active as chaos_active
+
+    injector = chaos_active()
+    if injector is not None:
+        log(f"CHAOS ACTIVE: {injector.plan.describe()}")
     try:
         return asyncio.run(_serve(config, service, log))
     finally:

@@ -9,13 +9,17 @@ cache-warm service where a request is one round trip.
 
 Routes (all bodies are :mod:`repro.serve.protocol` documents):
 
+* ``GET  /healthz`` — liveness: always 200 while the loop is serving;
+* ``GET  /readyz`` — readiness: 200 when cold work is admitted, 503
+  (with ``Retry-After``) while the breaker holds the service in
+  cache-only degraded mode;
 * ``GET  /v1/status`` — queue/cache/job inventory;
 * ``POST /v1/submit`` — admit or coalesce a job (429 over quota, 503
-  when the queue is full);
+  when the queue is full or the service is degraded);
 * ``GET  /v1/jobs/<id>`` — one job's descriptor;
 * ``GET  /v1/jobs/<id>/result`` — the terminal result envelope;
 * ``GET  /v1/jobs/<id>/events`` — SSE: full history replay, then live
-  events until the terminal ``done``/``failed`` event;
+  events until the terminal ``done``/``failed``/``deadline`` event;
 * ``POST /v1/shutdown`` — graceful stop (used by tests and the CLI).
 
 The same handler serves TCP and unix-domain listeners.
@@ -25,6 +29,8 @@ from __future__ import annotations
 
 import asyncio
 
+from repro.chaos.inject import chaos_fire
+from repro.serve.breaker import ServiceDegradedError
 from repro.serve.protocol import (
     ProtocolError,
     error_body,
@@ -123,6 +129,26 @@ class HttpServer:
 
     async def _route(self, writer, method: str, path: str, body: bytes) -> None:
         parts = [p for p in path.split("/") if p]
+        if parts and parts[0] in ("healthz", "readyz") and len(parts) == 1:
+            if method != "GET":
+                await self._respond(writer, 405, error_body(405, "GET only"))
+                return
+            health = self.service.health()
+            if parts[0] == "healthz":
+                # Liveness: answering at all is the signal.
+                await self._respond(writer, 200, health)
+                return
+            if health["status"] == "ready":
+                await self._respond(writer, 200, health)
+            else:
+                retry = health["breaker"]["retry_after"]
+                await self._respond(
+                    writer,
+                    503,
+                    health,
+                    headers={"Retry-After": f"{max(1, int(retry + 0.999))}"},
+                )
+            return
         if len(parts) < 2 or parts[0] != "v1":
             await self._respond(writer, 404, error_body(404, f"no route {path}"))
             return
@@ -182,16 +208,28 @@ class HttpServer:
         except QueueFullError as exc:
             await self._respond(writer, 503, error_body(503, str(exc)))
             return
+        except ServiceDegradedError as exc:
+            await self._respond(
+                writer,
+                503,
+                error_body(503, str(exc)),
+                headers={"Retry-After": f"{max(1, int(exc.retry_after + 0.999))}"},
+            )
+            return
         await self._respond(writer, 200, descriptor)
 
     # -- responses -----------------------------------------------------------
 
-    async def _respond(self, writer, status: int, body: dict) -> None:
+    async def _respond(
+        self, writer, status: int, body: dict, headers: dict | None = None
+    ) -> None:
         payload = wire_encode(body)
+        extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(payload)}\r\n"
+            f"{extra}"
             "Connection: close\r\n"
             "\r\n"
         )
@@ -211,14 +249,32 @@ class HttpServer:
         terminal_seen = False
         try:
             for event in history:
-                writer.write(sse_format(event))
+                if not await self._write_event(writer, event):
+                    return
                 terminal_seen = terminal_seen or is_terminal_event(event)
             await writer.drain()
             while live is not None and not terminal_seen:
                 event = await live.get()
-                writer.write(sse_format(event))
-                await writer.drain()
+                if not await self._write_event(writer, event):
+                    return
                 terminal_seen = is_terminal_event(event)
         finally:
             if live is not None:
                 self.service.unsubscribe(job, live)
+
+    async def _write_event(self, writer, event: dict) -> bool:
+        """Write one SSE frame; False means the (chaos) connection died.
+
+        ``serve.slow_loris`` stalls before the frame (a server that
+        trickles events); ``serve.conn_drop`` cuts the stream right
+        after a frame — the reconnect/resume path in the client is what
+        these two exist to exercise.
+        """
+        action = chaos_fire("serve.slow_loris")
+        if action is not None:
+            await asyncio.sleep(float(action.get("delay_seconds", 0.2)))
+        writer.write(sse_format(event))
+        await writer.drain()
+        if chaos_fire("serve.conn_drop") is not None:
+            return False
+        return True

@@ -23,11 +23,21 @@ from typing import Any
 #: Wire schema version; bump on any incompatible body change.
 SCHEMA_VERSION = 1
 
-#: Job lifecycle states, in order.
-JOB_STATES = ("queued", "running", "done", "failed")
+#: Job lifecycle states, in order; ``deadline`` is the terminal state of
+#: a job that exceeded its wall-clock budget.
+JOB_STATES = ("queued", "running", "done", "failed", "deadline")
 
-#: Event kinds a watcher can receive; ``done``/``failed`` are terminal.
-EVENT_KINDS = ("queued", "started", "progress", "done", "failed")
+#: Event kinds a watcher can receive; ``done``/``failed``/``deadline``
+#: are terminal.  ``chaos`` reports injected-fault activity on a job.
+EVENT_KINDS = (
+    "queued",
+    "started",
+    "progress",
+    "chaos",
+    "done",
+    "failed",
+    "deadline",
+)
 
 #: Request kinds ``POST /v1/submit`` accepts.
 SUBMIT_KINDS = ("specs", "evaluate")
@@ -130,6 +140,7 @@ def job_body(
     journal_hits: int = 0,
     coalesced: int = 0,
     shard: int = 0,
+    retried: int = 0,
     error: str = "",
 ) -> dict:
     """The job descriptor returned by submit and ``GET /v1/jobs/<id>``."""
@@ -147,6 +158,7 @@ def job_body(
         "journal_hits": journal_hits,
         "coalesced": coalesced,
         "shard": shard,
+        "retried": retried,
     }
     if error:
         body["error"] = error
@@ -162,7 +174,7 @@ def event_body(kind: str, job_id: str, seq: int, data: dict) -> dict:
 
 def is_terminal_event(event: dict) -> bool:
     """Whether this event ends a watch stream."""
-    return event.get("event") in ("done", "failed")
+    return event.get("event") in ("done", "failed", "deadline")
 
 
 def error_body(status: int, message: str) -> dict:

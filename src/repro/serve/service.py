@@ -27,10 +27,14 @@ import hashlib
 import time
 from dataclasses import dataclass, field
 
+from repro.chaos.inject import active as chaos_active
+from repro.chaos.inject import chaos_fire
+from repro.chaos.plan import ChaosError
 from repro.runs.cache import ResultCache, code_fingerprint
 from repro.runs.journal import RunJournal
 from repro.runs.orchestrate import run_specs, sweep_journal_path
 from repro.runs.spec import RunSpec, canonical_json, simulation_spec
+from repro.serve.breaker import CircuitBreaker, ServiceDegradedError
 from repro.serve.protocol import (
     ProtocolError,
     event_body,
@@ -74,6 +78,9 @@ class Job:
     journal_hits: int = 0
     failed: int = 0
     coalesced: int = 0
+    retried: int = 0
+    #: This job is the breaker's half-open probe.
+    probe: bool = False
     error: str = ""
     seq: int = 0
     #: Full event history (replayed to late watchers).
@@ -102,6 +109,7 @@ class Job:
             journal_hits=self.journal_hits,
             coalesced=self.coalesced,
             shard=self.shard,
+            retried=self.retried,
             error=self.error,
         )
 
@@ -119,12 +127,23 @@ class SimulationService:
         max_generations: int | None = None,
         max_bytes: int | None = None,
         log=None,
+        timeout: float | None = None,
+        retries: int = 2,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
     ) -> None:
         self.cache = ResultCache(cache_root, fingerprint=code_fingerprint())
         self.queue = ShardedQueue(shards=shards, quota=quota, max_depth=max_depth)
         self.jobs_per_run = jobs
         self.max_generations = max_generations
         self.max_bytes = max_bytes
+        #: Per-spec execution timeout and supervision retry budget.
+        self.exec_timeout = timeout
+        self.retries = retries
+        self.breaker = CircuitBreaker(
+            threshold=breaker_threshold, cooldown=breaker_cooldown
+        )
+        self.last_error = ""
         self.log = log or (lambda line: None)
         #: key -> queued/running job (the coalescing index).
         self.active: dict[str, Job] = {}
@@ -135,7 +154,13 @@ class SimulationService:
         self._workers: list[asyncio.Task] = []
         self._stopping = False
         self.started_at = time.monotonic()
-        self.totals = {"submitted": 0, "coalesced": 0, "completed": 0, "failed": 0}
+        self.totals = {
+            "submitted": 0,
+            "coalesced": 0,
+            "completed": 0,
+            "failed": 0,
+            "deadline": 0,
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -183,15 +208,20 @@ class SimulationService:
             for name in workloads
             for scheme in FIGURE5_DESIGNS
         ]
-        params = {"length": length, "seed": seed, "workloads": workloads}
-        return specs, params
+        expanded = {"length": length, "seed": seed, "workloads": workloads}
+        if "deadline_seconds" in params:
+            expanded["deadline_seconds"] = float(params["deadline_seconds"])
+        return specs, expanded
 
     def submit(self, body: dict) -> dict:
         """Admit (or coalesce) one submit body; returns the job descriptor.
 
         Raises :class:`~repro.serve.protocol.ProtocolError` on a malformed
         body, :class:`~repro.serve.queue.QuotaExceededError` /
-        :class:`~repro.serve.queue.QueueFullError` on admission failure.
+        :class:`~repro.serve.queue.QueueFullError` on admission failure,
+        and :class:`~repro.serve.breaker.ServiceDegradedError` for a cold
+        submission while the execution breaker is open (warm submissions
+        — every spec already cached — are served even then).
         """
         body = validate_submit(body)
         specs, params = self._expand(body)
@@ -205,6 +235,14 @@ class SimulationService:
                 f"{running.coalesced} rider(s))"
             )
             return running.descriptor()
+        probe = False
+        warm = all(self.cache.contains(s) for s in specs)
+        if not warm:
+            # Cold work consults the breaker; a warm job never executes
+            # anything, so cache-only mode serves it regardless.
+            if not self.breaker.allow():
+                raise ServiceDegradedError(self.breaker.retry_after())
+            probe = self.breaker.state == "half_open"
         self.queue.admit(body["client"])
         self._job_seq += 1
         job = Job(
@@ -216,6 +254,7 @@ class SimulationService:
             specs=specs,
             params=params,
         )
+        job.probe = probe
         job.shard = self.queue.push(key, job.priority, job)
         self.active[key] = job
         self.jobs[job.job_id] = job
@@ -233,7 +272,7 @@ class SimulationService:
     def _trim_history(self) -> None:
         while len(self.jobs) > HISTORY_LIMIT:
             for job_id, job in list(self.jobs.items()):
-                if job.state in ("done", "failed"):
+                if job.state in ("done", "failed", "deadline"):
                     del self.jobs[job_id]
                     break
             else:
@@ -251,7 +290,7 @@ class SimulationService:
     def subscribe(self, job: Job) -> tuple[list[dict], asyncio.Queue | None]:
         """History so far plus a live queue (``None`` if already terminal)."""
         history = list(job.events)
-        if job.state in ("done", "failed"):
+        if job.state in ("done", "failed", "deadline"):
             return history, None
         queue: asyncio.Queue = asyncio.Queue()
         job.subscribers.append(queue)
@@ -298,14 +337,34 @@ class SimulationService:
                 data["obs_timeline"] = payload["obs"].get("timeline")
             loop.call_soon_threadsafe(self._progress_event, job, data)
 
+        injector = chaos_active()
+        fires_before = len(injector.fires) if injector is not None else 0
+        deadline = job.params.get("deadline_seconds")
         started = time.perf_counter()
         try:
-            report = await asyncio.to_thread(self._run_job, job, progress)
+            if chaos_fire("serve.exec_error") is not None:
+                raise ChaosError("serve.exec_error")
+            exec_task = asyncio.ensure_future(
+                asyncio.to_thread(self._run_job, job, progress)
+            )
+            if deadline is not None:
+                finished, _ = await asyncio.wait(
+                    {exec_task}, timeout=float(deadline)
+                )
+                if not finished:
+                    self._deadline(
+                        job, float(deadline), exec_task, injector, fires_before
+                    )
+                    return
+            report = await exec_task
         except Exception as exc:  # noqa: BLE001 - daemon must survive any job
             job.state = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
             job.result = self._envelope(job, {"error": job.error})
             self.totals["failed"] += 1
+            self.last_error = f"{job.job_id}: {job.error}"
+            self.breaker.record_failure()
+            self._emit_chaos(job, injector, fires_before)
             self._finish(job, "failed", {"job": job.descriptor()})
             self.log(f"failed {job.job_id}: {job.error}")
             return
@@ -314,10 +373,19 @@ class SimulationService:
         job.cache_hits = report.cache_hits
         job.journal_hits = report.journal_hits
         job.failed = report.failed
+        job.retried = report.retried
         job.done = len(report.outcomes)
         job.state = "done"
         job.result = self._envelope(job, self._result_payload(job, report))
         self.totals["completed"] += 1
+        if report.failed > 0:
+            self.last_error = f"{job.job_id}: {report.failed} spec(s) failed"
+            self.breaker.record_failure()
+        elif report.executed > 0 or job.probe:
+            # Cache-only successes say nothing about the execution path,
+            # so they must not close (or feed) the breaker.
+            self.breaker.record_success()
+        self._emit_chaos(job, injector, fires_before)
         self._finish(
             job,
             "done",
@@ -344,7 +412,59 @@ class SimulationService:
         for queue in list(job.subscribers):
             job.subscribers.remove(queue)
 
+    def _deadline(
+        self,
+        job: Job,
+        deadline: float,
+        exec_task: asyncio.Task,
+        injector,
+        fires_before: int,
+    ) -> None:
+        """Terminate a job that blew its wall-clock budget.
+
+        Watchers get a terminal ``deadline`` event and the client's
+        quota slot back immediately — but the job's content key stays in
+        ``active`` until the orphaned executor thread actually returns:
+        a resubmit that started a *second* executor over the same
+        journal would break exactly-once (both would append).  Until
+        the orphan is reaped, identical submits coalesce onto this
+        (already terminal) job and read its journal-backed result from
+        a later resubmit.
+        """
+        job.state = "deadline"
+        job.error = f"deadline of {deadline:.1f}s exceeded"
+        job.result = self._envelope(job, {"error": job.error})
+        self.totals["deadline"] += 1
+        self.last_error = f"{job.job_id}: {job.error}"
+        self.breaker.record_failure()
+        self._emit_chaos(job, injector, fires_before)
+        self._emit(job, "deadline", {"job": job.descriptor()})
+        self.queue.credit(job.client)
+        for queue in list(job.subscribers):
+            job.subscribers.remove(queue)
+        exec_task.add_done_callback(lambda task: self._reap_orphan(job, task))
+        self.log(f"deadline {job.job_id}: {job.error} (orphan still running)")
+
+    def _reap_orphan(self, job: Job, task: asyncio.Task) -> None:
+        """The orphaned executor of a deadlined job finally returned."""
+        self.active.pop(job.key, None)
+        exc = task.exception() if not task.cancelled() else None
+        suffix = f" ({type(exc).__name__}: {exc})" if exc else ""
+        self.log(f"orphan {job.job_id} reaped{suffix}")
+
+    def _emit_chaos(self, job: Job, injector, fires_before: int) -> None:
+        """Report injected-fault activity observed during this job."""
+        if injector is None:
+            return
+        fires = injector.fires[fires_before:]
+        if fires:
+            self._emit(job, "chaos", {"fires": fires})
+
     def _progress_event(self, job: Job, data: dict) -> None:
+        # An orphaned executor keeps calling progress after its job went
+        # terminal; those late events must not reach (closed) watchers.
+        if job.state not in ("queued", "running"):
+            return
         job.done = data["done"]
         self._emit(job, "progress", data)
 
@@ -358,6 +478,8 @@ class SimulationService:
                 cache=self.cache,
                 journal=journal,
                 progress=progress,
+                timeout=self.exec_timeout,
+                retries=self.retries,
             )
 
     # -- results -------------------------------------------------------------
@@ -417,6 +539,7 @@ class SimulationService:
             "executed": report.executed,
             "cache_hits": report.cache_hits,
             "journal_hits": report.journal_hits,
+            "retried": report.retried,
             "served": True,
         }
         return fig5_bench_document(comparisons, meta)
@@ -436,7 +559,26 @@ class SimulationService:
             "cache": self.cache.status(),
             "jobs": {k: v for k, v in sorted(states.items())},
             "totals": dict(self.totals),
+            "breaker": self.breaker.snapshot(),
+            "last_error": self.last_error,
             "timing": {
                 "uptime_seconds": round(time.monotonic() - self.started_at, 3)
             },
+        }
+
+    def health(self) -> dict:
+        """Liveness/readiness document for ``/healthz`` and ``/readyz``.
+
+        ``status`` is ``"ready"`` while the breaker admits cold work and
+        ``"degraded"`` (cache-only mode) while it is open.
+        """
+        degraded = self.breaker.state == "open"
+        return {
+            "schema_version": 1,
+            "status": "degraded" if degraded else "ready",
+            "breaker": self.breaker.snapshot(),
+            "queue_depth": sum(self.queue.snapshot()["depths"]),
+            "active_jobs": len(self.active),
+            "last_error": self.last_error,
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
         }

@@ -1,0 +1,172 @@
+"""Chaos integration tests for the serving stack.
+
+Runs the real service + HTTP listener (the :class:`Harness` from
+``test_serve``) with a chaos plan armed in-process, and drives the
+failure paths end to end: breaker trip / cache-only degradation /
+half-open recovery, SSE connection drops with client-side resume, and
+per-job deadlines with orphan reaping.
+"""
+
+import time
+
+import pytest
+
+from repro.chaos.inject import install, reset
+from repro.chaos.plan import CHAOS_PLAN_ENV, ChaosPlan
+from repro.serve.client import ServeClient, ServeError
+from tests.integration.test_serve import Harness, drain, evaluate_params
+
+
+@pytest.fixture(autouse=True)
+def clean_injector(monkeypatch):
+    monkeypatch.delenv(CHAOS_PLAN_ENV, raising=False)
+    reset()
+    yield
+    reset()
+
+
+def finish(client, params):
+    """Submit one evaluate job and watch it to its terminal event."""
+    descriptor = client.submit("evaluate", params=params)
+    events = drain(client, descriptor["job_id"])
+    return client.job(descriptor["job_id"]), events
+
+
+class TestBreakerLifecycle:
+    def test_trip_degrade_and_half_open_recovery(self, tmp_path):
+        # Jobs in submission order hit serve.exec_error visits 2 and 3:
+        # warmup succeeds, the next two cold jobs fail and trip the
+        # breaker (threshold 2), the post-cooldown probe succeeds.
+        install(ChaosPlan(0, {"serve.exec_error": {"hits": [2, 3]}}))
+        with Harness(
+            tmp_path / "cache",
+            breaker_threshold=2,
+            breaker_cooldown=1.0,
+        ) as h:
+            client = h.client()
+            warm_params = evaluate_params(length=80)
+            client.run("evaluate", params=warm_params)
+            assert client.readyz()["status"] == "ready"
+
+            for n, length in enumerate((81, 82), start=1):
+                job, events = finish(client, evaluate_params(length=length))
+                assert job["state"] == "failed"
+                # The injected fault is surfaced on the event stream.
+                assert any(e["event"] == "chaos" for e in events)
+                assert h.service.breaker.consecutive_failures == n
+            assert h.service.breaker.state == "open"
+
+            # Cold work is refused with a retry hint...
+            with pytest.raises(ServeError) as refused:
+                client.submit("evaluate", params=evaluate_params(length=83))
+            assert refused.value.status == 503
+            assert "degraded" in refused.value.message
+            with pytest.raises(ServeError) as not_ready:
+                client.readyz()
+            assert not_ready.value.status == 503
+            health = client.healthz()  # liveness stays 200 throughout
+            assert health["status"] == "degraded"
+            assert health["breaker"]["state"] == "open"
+
+            # ...while warm (fully cached) submissions are still served,
+            # without feeding the breaker.
+            job, _ = finish(client, warm_params)
+            assert job["state"] == "done" and job["executed"] == 0
+            assert h.service.breaker.state == "open"
+
+            time.sleep(1.2)  # past the cooldown: next cold job = probe
+            job, _ = finish(client, evaluate_params(length=83))
+            assert job["state"] == "done"
+            assert h.service.breaker.state == "closed"
+            assert client.readyz()["status"] == "ready"
+            snap = h.service.breaker.snapshot()
+            assert snap["trips"] == 1 and snap["probes"] == 1
+
+
+class TestStreamChaos:
+    def test_conn_drop_resumes_gaplessly(self, tmp_path):
+        # The second SSE frame is written and then the connection is
+        # dropped; the stalls around it come from slow_loris.  The
+        # client reconnects, the server replays history, and seq-dedup
+        # yields one gapless, strictly-ordered stream.
+        install(
+            ChaosPlan(
+                0,
+                {
+                    "serve.conn_drop": {"hits": [2]},
+                    "serve.slow_loris": {
+                        "hits": [1, 3],
+                        "params": {"delay_seconds": 0.02},
+                    },
+                },
+            )
+        )
+        with Harness(tmp_path / "cache") as h:
+            client = h.client()
+            descriptor = client.submit(
+                "evaluate", params=evaluate_params(length=80)
+            )
+            events = drain(client, descriptor["job_id"])
+            seqs = [e["seq"] for e in events]
+            assert seqs == sorted(set(seqs))  # gapless dedup, no repeats
+            assert events[-1]["event"] == "done"
+
+            # A clean rewatch replays the identical history.
+            replay = drain(client, descriptor["job_id"])
+            assert [e["seq"] for e in replay] == seqs
+
+    def test_watch_budget_exhaustion_raises(self, tmp_path):
+        # Every connection is dropped after one frame; a client with a
+        # two-reconnect budget gives up with a diagnosable error.
+        install(
+            ChaosPlan(
+                0, {"serve.conn_drop": {"hits": list(range(1, 40))}}
+            )
+        )
+        with Harness(tmp_path / "cache") as h:
+            client = ServeClient(
+                f"http://127.0.0.1:{h.port}", timeout=30.0, watch_resume=2
+            )
+            descriptor = client.submit(
+                "evaluate", params=evaluate_params(length=80)
+            )
+            with pytest.raises(ServeError, match="without a terminal event"):
+                list(client.watch(descriptor["job_id"]))
+            # The server-side job is unaffected by the watcher's fate.
+            deadline = time.monotonic() + 60
+            while client.job(descriptor["job_id"])["state"] not in (
+                "done", "failed"
+            ):
+                assert time.monotonic() < deadline
+                time.sleep(0.1)
+            assert client.job(descriptor["job_id"])["state"] == "done"
+
+
+class TestDeadline:
+    def test_deadline_is_terminal_and_orphan_is_reaped(self, tmp_path):
+        with Harness(tmp_path / "cache") as h:
+            client = h.client()
+            params = dict(evaluate_params(length=400), deadline_seconds=0.01)
+            descriptor = client.submit("evaluate", params=params)
+            events = drain(client, descriptor["job_id"])
+            assert events[-1]["event"] == "deadline"
+            job = client.job(descriptor["job_id"])
+            assert job["state"] == "deadline"
+            assert "deadline" in job["error"]
+            assert h.service.totals["deadline"] == 1
+
+            # The overrun executor keeps running detached; its key stays
+            # claimed (no second writer for the same specs) until it is
+            # reaped, after which the slate is clean.
+            deadline = time.monotonic() + 60
+            while h.service.active:
+                assert time.monotonic() < deadline, "orphan never reaped"
+                time.sleep(0.1)
+            assert client.healthz()["active_jobs"] == 0
+
+            # Resubmitting without a deadline completes; the orphan's
+            # finished cells are reused, not recomputed or duplicated.
+            job2, _ = finish(client, evaluate_params(length=400))
+            assert job2["state"] == "done"
+            assert job2["done"] == job2["total"]
+            assert job2["executed"] == 0

@@ -113,7 +113,8 @@ class TestCoalescing:
             assert len(job_ids) == 1
             job_id = job_ids.pop()
             assert h.service.totals == {
-                "submitted": 1, "coalesced": 3, "completed": 0, "failed": 0
+                "submitted": 1, "coalesced": 3, "completed": 0, "failed": 0,
+                "deadline": 0,
             }
 
             h.start_workers()

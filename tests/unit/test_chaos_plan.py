@@ -1,0 +1,137 @@
+"""Unit tests for chaos plans and the process-global injector."""
+
+import json
+
+import pytest
+
+from repro.chaos.inject import (
+    ChaosInjector,
+    active,
+    chaos_fire,
+    deactivate,
+    install,
+    reset,
+)
+from repro.chaos.plan import ALL_SITE_NAMES, CHAOS_PLAN_ENV, ChaosError, ChaosPlan
+
+
+@pytest.fixture(autouse=True)
+def clean_injector(monkeypatch):
+    """Every test starts and ends with chaos disarmed and the env clean."""
+    monkeypatch.delenv(CHAOS_PLAN_ENV, raising=False)
+    reset()
+    yield
+    reset()
+
+
+class TestChaosPlan:
+    def test_generate_is_deterministic(self):
+        a = ChaosPlan.generate(7, ALL_SITE_NAMES, fires=2)
+        b = ChaosPlan.generate(7, ALL_SITE_NAMES, fires=2)
+        assert a.to_json() == b.to_json()
+        assert set(a.schedule) == set(ALL_SITE_NAMES)
+        for entry in a.schedule.values():
+            assert len(entry["hits"]) == 2
+            assert all(1 <= h <= 3 for h in entry["hits"])
+
+    def test_different_seeds_differ(self):
+        a = ChaosPlan.generate(1, ALL_SITE_NAMES)
+        b = ChaosPlan.generate(2, ALL_SITE_NAMES)
+        assert a.to_json() != b.to_json()
+
+    def test_json_round_trip_is_canonical(self):
+        plan = ChaosPlan(
+            5,
+            {
+                "serve.exec_error": {"hits": [2, 1, 2]},
+                "pool.worker_hang": {
+                    "hits": [1],
+                    "params": {"hang_seconds": 9.0},
+                },
+            },
+        )
+        # Hits are deduplicated and sorted; schedule keys are sorted.
+        assert plan.schedule["serve.exec_error"]["hits"] == [1, 2]
+        text = plan.to_json()
+        assert json.loads(text) == json.loads(ChaosPlan.from_json(text).to_json())
+        assert text == ChaosPlan.from_json(text).to_json()
+
+    def test_from_env(self):
+        plan = ChaosPlan.generate(3, ["cache.put_eio"])
+        env = {CHAOS_PLAN_ENV: plan.to_json()}
+        loaded = ChaosPlan.from_env(env)
+        assert loaded is not None and loaded.to_json() == plan.to_json()
+        assert ChaosPlan.from_env({}) is None
+        assert ChaosPlan.from_env({CHAOS_PLAN_ENV: ""}) is None
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos site"):
+            ChaosPlan(0, {"pool.nonsense": {"hits": [1]}})
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError, match="never fires"):
+            ChaosPlan(0, {})
+
+    def test_zero_based_hits_rejected(self):
+        with pytest.raises(ValueError, match="1-based"):
+            ChaosPlan(0, {"cache.put_eio": {"hits": [0]}})
+        with pytest.raises(ValueError, match="1-based"):
+            ChaosPlan(0, {"cache.put_eio": {"hits": []}})
+
+    def test_describe_names_every_scheduled_site(self):
+        plan = ChaosPlan.generate(9, ["serve.conn_drop", "cache.put_torn"])
+        text = plan.describe()
+        assert "seed 9" in text
+        assert "serve.conn_drop@" in text and "cache.put_torn@" in text
+
+    def test_chaos_error_carries_site(self):
+        err = ChaosError("journal.fsync_fail")
+        assert err.site == "journal.fsync_fail"
+        assert "journal.fsync_fail" in str(err)
+
+
+class TestInjector:
+    def test_fires_exactly_at_scheduled_visits(self):
+        plan = ChaosPlan(
+            0,
+            {
+                "cache.put_eio": {"hits": [2, 4], "params": {"tag": "x"}},
+            },
+        )
+        injector = ChaosInjector(plan)
+        results = [injector.fire("cache.put_eio") for _ in range(5)]
+        assert results == [None, {"tag": "x"}, None, {"tag": "x"}, None]
+        assert injector.hits["cache.put_eio"] == 5
+        assert [f["hit"] for f in injector.fires] == [2, 4]
+        assert all(f["site"] == "cache.put_eio" for f in injector.fires)
+
+    def test_unscheduled_sites_are_counted_but_never_fire(self):
+        plan = ChaosPlan(0, {"cache.put_eio": {"hits": [1]}})
+        injector = ChaosInjector(plan)
+        assert injector.fire("journal.append_torn") is None
+        assert injector.hits["journal.append_torn"] == 1
+        assert injector.fires == []
+
+    def test_install_and_deactivate(self):
+        plan = ChaosPlan(0, {"serve.exec_error": {"hits": [1]}})
+        injector = install(plan)
+        assert active() is injector
+        assert chaos_fire("serve.exec_error") == {}
+        assert chaos_fire("serve.exec_error") is None
+        deactivate()
+        assert active() is None
+        assert chaos_fire("serve.exec_error") is None
+
+    def test_env_armed_lazily_and_reset_rereads(self, monkeypatch):
+        # First use with no env: off, and the decision is cached.
+        assert chaos_fire("cache.put_eio") is None
+        monkeypatch.setenv(
+            CHAOS_PLAN_ENV,
+            ChaosPlan(1, {"cache.put_eio": {"hits": [1]}}).to_json(),
+        )
+        assert chaos_fire("cache.put_eio") is None  # still cached-off
+        reset()
+        assert chaos_fire("cache.put_eio") == {}  # re-read armed the plan
+        injector = active()
+        assert injector is not None
+        assert injector.plan.seed == 1

@@ -1,0 +1,72 @@
+"""Drift test: chaos-site strings in the source tree must equal the
+chaos/plan.py registry, in both directions.
+
+Same discipline (and same deliberate independence from ``repro.lint``)
+as the fault-site drift test: the set of ``chaos_fire("...")`` call
+sites in the shipped package is the ground truth the registry must
+match exactly — a hook without a registry entry can never be scheduled,
+a registry entry without a hook can never fire.
+"""
+
+import ast
+from pathlib import Path
+
+import repro
+from repro.chaos.plan import ALL_SITE_NAMES, SITES, site, sites_for_component
+
+SRC = Path(repro.__file__).resolve().parent
+CHAOS_CALLS = ("chaos_fire",)
+
+
+def called_sites() -> set[str]:
+    sites = set()
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(
+                func, "id", None
+            )
+            if name in CHAOS_CALLS and node.args:
+                arg = node.args[0]
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    sites.add(arg.value)
+    return sites
+
+
+def test_every_called_site_is_registered():
+    unregistered = called_sites() - set(ALL_SITE_NAMES)
+    assert not unregistered, (
+        f"chaos sites called in code but missing from chaos/plan.py: "
+        f"{sorted(unregistered)}"
+    )
+
+
+def test_every_registered_site_is_called():
+    unused = set(ALL_SITE_NAMES) - called_sites()
+    assert not unused, (
+        f"chaos sites registered in chaos/plan.py but never called: "
+        f"{sorted(unused)}"
+    )
+
+
+def test_site_names_are_component_dot_step():
+    for name in ALL_SITE_NAMES:
+        component, _, step = name.partition(".")
+        assert component and step, f"malformed site name {name!r}"
+        assert site(name).component == component
+
+
+def test_components_cover_the_serving_stack():
+    components = {s.component for s in SITES}
+    assert components == {"pool", "cache", "journal", "serve"}
+    for component in sorted(components):
+        assert sites_for_component(component), component
+
+
+def test_registry_covers_at_least_eight_sites():
+    # The acceptance bar for the chaos campaign: >= 8 sites across the
+    # pool/cache/journal/serve stack.
+    assert len(ALL_SITE_NAMES) >= 8

@@ -1,0 +1,153 @@
+"""Supervision tests: the pool and ``run_specs`` recover from injected
+worker crashes, hangs and torn IPC without losing or duplicating cells.
+"""
+
+import functools
+import importlib
+
+import pytest
+
+from repro.chaos.inject import install, reset
+from repro.chaos.plan import CHAOS_PLAN_ENV, ChaosPlan
+from repro.runs.orchestrate import run_specs
+from repro.runs.pool import RunOutcome, WorkerPool, _raw_outcome, payload_digest
+from repro.runs.spec import simulation_spec
+
+orchestrate_mod = importlib.import_module("repro.runs.orchestrate")
+
+LENGTH = 40
+
+
+@pytest.fixture(autouse=True)
+def clean_injector(monkeypatch):
+    monkeypatch.delenv(CHAOS_PLAN_ENV, raising=False)
+    reset()
+    yield
+    reset()
+
+
+def specs(n, length=LENGTH):
+    return [simulation_spec("ccnvm", "lbm", length, seed) for seed in range(1, n + 1)]
+
+
+def arm_everywhere(monkeypatch, plan):
+    """Arm *plan* in this process and in future spawn workers."""
+    monkeypatch.setenv(CHAOS_PLAN_ENV, plan.to_json())
+    reset()  # parent re-reads the env on its next chaos_fire
+
+
+class TestRawOutcome:
+    def test_digest_mismatch_demoted_to_retryable_corrupt(self):
+        spec = specs(1)[0]
+        payload = {"value": 1}
+        raw = {
+            "status": "done",
+            "payload": {"value": 2},  # mutated after the digest was taken
+            "digest": payload_digest(payload),
+            "duration": 0.1,
+        }
+        outcome = _raw_outcome(spec, raw)
+        assert outcome.status == "corrupt"
+        assert outcome.retryable
+        assert outcome.payload is None
+        assert "integrity digest" in outcome.error
+
+    def test_matching_digest_passes_through(self):
+        spec = specs(1)[0]
+        payload = {"value": 1}
+        raw = {
+            "status": "done",
+            "payload": payload,
+            "digest": payload_digest(payload),
+            "duration": 0.1,
+        }
+        outcome = _raw_outcome(spec, raw)
+        assert outcome.ok and outcome.payload == payload
+
+
+class TestInline:
+    def test_process_death_sites_never_touch_the_parent(self):
+        # worker_crash / worker_hang fire inline too, but the guard
+        # keeps them from exiting or stalling the orchestrating process.
+        install(
+            ChaosPlan(
+                0,
+                {
+                    "pool.worker_crash": {"hits": [1]},
+                    "pool.worker_hang": {
+                        "hits": [1],
+                        "params": {"hang_seconds": 3600.0},
+                    },
+                },
+            )
+        )
+        report = run_specs(specs(1), jobs=1)
+        assert report.failed == 0 and report.executed == 1
+
+    def test_result_corrupt_retried_to_identical_payload(self):
+        baseline = run_specs(specs(1), jobs=1)
+        spec = specs(1)[0]
+
+        install(ChaosPlan(0, {"pool.result_corrupt": {"hits": [1]}}))
+        report = run_specs([spec], jobs=1, retries=2)
+        assert report.failed == 0
+        assert report.retried == 1
+        # Retried-to-success output is byte-identical to fault-free.
+        assert report.payload(spec) == baseline.payload(spec)
+
+    def test_result_corrupt_with_no_budget_is_reported(self):
+        install(ChaosPlan(0, {"pool.result_corrupt": {"hits": [1]}}))
+        report = run_specs(specs(1), jobs=1, retries=0)
+        assert report.failed == 1
+        outcome = next(iter(report.outcomes.values()))
+        assert outcome.status == "corrupt" and outcome.retryable
+
+
+class TestPooled:
+    def test_chunk_timeout_redispatch_rescues_chunkmates(self, monkeypatch):
+        # The second spec of the two-spec chunk hangs; the whole chunk
+        # times out, then both specs are re-dispatched at chunk=1 in
+        # fresh processes (visit counters reset) and both succeed.
+        arm_everywhere(
+            monkeypatch,
+            ChaosPlan(
+                0,
+                {
+                    "pool.worker_hang": {
+                        "hits": [2],
+                        "params": {"hang_seconds": 30.0},
+                    }
+                },
+            ),
+        )
+        pool = WorkerPool(jobs=2, timeout=1.0, chunk=2, grace=1.5)
+        outcomes = pool.run(specs(2))
+        assert [o.ok for o in outcomes] == [True, True]
+        assert pool.redispatched == 2
+
+    def test_run_specs_supervision_recovers_from_worker_crash(
+        self, monkeypatch
+    ):
+        # Three one-spec chunks over two workers: some worker's second
+        # visit exits hard.  The lost chunk surfaces as a retryable
+        # timeout; the supervision round re-runs it in a pristine
+        # process and the sweep still completes every cell.
+        arm_everywhere(
+            monkeypatch,
+            ChaosPlan(
+                0,
+                {"pool.worker_crash": {"hits": [2], "params": {"exit_code": 70}}},
+            ),
+        )
+        monkeypatch.setattr(
+            orchestrate_mod,
+            "WorkerPool",
+            functools.partial(WorkerPool, grace=1.5),
+        )
+        batch = specs(3)
+        report = run_specs(batch, jobs=2, timeout=1.0, chunk=1, retries=2)
+        assert report.failed == 0
+        assert report.executed == 3
+        assert report.retried >= 1
+        assert set(report.outcomes) == {s.spec_hash() for s in batch}
+        assert all(isinstance(o, RunOutcome) and o.ok for o in report.outcomes.values())

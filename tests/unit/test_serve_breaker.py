@@ -1,0 +1,111 @@
+"""Unit tests for the service circuit breaker (fake clock, no IO)."""
+
+import pytest
+
+from repro.serve.breaker import CircuitBreaker, ServiceDegradedError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def breaker(clock):
+    return CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+
+
+class TestStateMachine:
+    def test_stays_closed_below_threshold(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        # A success resets the consecutive count entirely.
+        breaker.record_success()
+        assert breaker.consecutive_failures == 0
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_trips_at_threshold_and_refuses(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(10.0)
+
+    def test_cooldown_admits_exactly_one_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # the probe
+        assert breaker.state == "half_open"
+        assert breaker.probes == 1
+        # Nobody else gets in while the probe is in flight.
+        assert not breaker.allow()
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        assert breaker.retry_after() == 0.0
+
+    def test_probe_failure_retrips_with_fresh_cooldown(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe fails
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        assert breaker.retry_after() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_success_in_closed_does_not_touch_state(self, breaker):
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.opened_at is None
+
+    def test_threshold_must_be_positive(self, clock):
+        with pytest.raises(ValueError, match=">= 1"):
+            CircuitBreaker(threshold=0, clock=clock)
+
+    def test_snapshot_reports_the_whole_picture(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(4.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["threshold"] == 3
+        assert snap["consecutive_failures"] == 3
+        assert snap["retry_after"] == pytest.approx(6.0)
+        assert snap["trips"] == 1 and snap["probes"] == 0
+
+
+class TestDegradedError:
+    def test_carries_a_clamped_retry_after(self):
+        err = ServiceDegradedError(4.2)
+        assert err.retry_after == pytest.approx(4.2)
+        assert "cache-only" in str(err)
+        assert ServiceDegradedError(-1.0).retry_after == 0.0
