@@ -1,0 +1,166 @@
+"""The traffic headline document: descriptor workloads x schemes.
+
+The trafficgen analogue of ``BENCH_fig5.json``: run every workload
+descriptor (ingested trace, interleaved tenants, custom profile) on
+every requested scheme through the orchestrator, and fold the results
+into one pure-content JSON document.  Like every other headline
+artifact, the document carries **no timings and no orchestration
+counters** — a serial run, a ``--jobs N`` run and a warm-cache run of
+the same workloads serialize byte-identically; the orchestration story
+lives in the returned :class:`~repro.runs.orchestrate.RunReport`.
+
+Workloads are keyed by their descriptor's short content label, and the
+full canonical descriptor (plus its digest) is embedded per workload,
+so the document is self-describing: a reader can re-run any row from
+the document alone (given, for ``trace`` descriptors, a store holding
+the digest).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.analysis.export import result_from_dict
+from repro.runs import orchestrate
+from repro.runs.spec import simulation_spec
+from repro.trafficgen.descriptor import (
+    descriptor_digest,
+    descriptor_label,
+    validate_descriptor,
+)
+
+#: Document schema version.
+TRAFFIC_DOC_VERSION = 1
+
+#: Default scheme set for traffic benches (the Figure-5 design list).
+DEFAULT_SCHEMES = ("no_cc", "sc", "osiris_plus", "ccnvm_no_ds", "ccnvm")
+
+
+def traffic_specs(
+    descriptors,
+    schemes=DEFAULT_SCHEMES,
+    length: int = 20_000,
+    seed: int = 1,
+    warmup: float = 0.0,
+):
+    """The spec grid of one traffic bench, in deterministic order.
+
+    Returns ``(rows, specs)`` where each row is
+    ``(label, scheme, canonical_descriptor, spec)``.
+    """
+    rows = []
+    specs = []
+    for descriptor in descriptors:
+        canonical = validate_descriptor(descriptor)
+        label = descriptor_label(canonical)
+        for scheme in schemes:
+            spec = simulation_spec(
+                scheme,
+                "",
+                length,
+                seed,
+                warmup=warmup,
+                workload_descriptor=canonical,
+            )
+            rows.append((label, scheme, canonical, spec))
+            specs.append(spec)
+    return rows, specs
+
+
+def traffic_document(
+    descriptors,
+    schemes=DEFAULT_SCHEMES,
+    length: int = 20_000,
+    seed: int = 1,
+    warmup: float = 0.0,
+    jobs: int = 1,
+    cache: bool = True,
+    cache_root=None,
+    timeout: float | None = None,
+    progress=None,
+):
+    """Run the bench; returns ``(document, RunReport)``."""
+    rows, specs = traffic_specs(
+        descriptors, schemes=schemes, length=length, seed=seed, warmup=warmup
+    )
+    report = orchestrate(
+        "traffic-bench",
+        specs,
+        jobs=jobs,
+        use_cache=cache,
+        cache_root=cache_root,
+        timeout=timeout,
+        progress=progress,
+    )
+    report.raise_on_failure()
+
+    workloads: dict[str, dict] = {}
+    results: dict[str, dict] = {}
+    for label, scheme, canonical, spec in rows:
+        if label not in workloads:
+            entry = {
+                "descriptor": canonical,
+                "digest": descriptor_digest(canonical),
+            }
+            if canonical["kind"] == "interleave":
+                from repro.trafficgen.interleave import interleave_attribution
+
+                entry["attribution"] = interleave_attribution(
+                    canonical, length, seed
+                )
+            workloads[label] = entry
+        payload = dict(report.payload(spec))
+        payload.pop("obs", None)
+        result = result_from_dict(payload)
+        results.setdefault(label, {})[scheme] = {
+            "ipc": result.ipc,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "nvm_writes": result.nvm_writes,
+            "nvm_reads": result.nvm_reads,
+            "writes_by_region": dict(sorted(result.writes_by_region.items())),
+            "llc_writebacks": result.llc_writebacks,
+            "epochs": result.epochs,
+            "counter_hmacs": result.counter_hmacs,
+            "data_hmacs": result.data_hmacs,
+        }
+
+    document = {
+        "version": TRAFFIC_DOC_VERSION,
+        "kind": "traffic-bench",
+        "config": {
+            "schemes": list(schemes),
+            "length": length,
+            "seed": seed,
+            "warmup": warmup,
+        },
+        "workloads": {k: workloads[k] for k in sorted(workloads)},
+        "results": {
+            k: {s: results[k][s] for s in sorted(results[k])}
+            for k in sorted(results)
+        },
+    }
+    return document, report
+
+
+def traffic_document_to_json(document: dict) -> str:
+    """Canonical pretty JSON of one traffic document."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def traffic_document_from_json(text: str) -> dict:
+    """Parse + sanity-check a traffic document."""
+    document = json.loads(text)
+    if not isinstance(document, dict) or document.get("kind") != "traffic-bench":
+        raise ValueError("not a traffic-bench document")
+    version = document.get("version")
+    if version != TRAFFIC_DOC_VERSION:
+        raise ValueError(
+            f"unsupported traffic-bench version {version!r} "
+            f"(this build reads {TRAFFIC_DOC_VERSION})"
+        )
+    for key in ("config", "workloads", "results"):
+        if key not in document:
+            raise ValueError(f"traffic-bench document is missing {key!r}")
+    return document

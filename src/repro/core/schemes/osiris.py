@@ -66,9 +66,21 @@ class OsirisPlus(SecureNVMScheme):
         self.wpq.write(victim.addr, self.meta.encoded(victim))
 
     def flush(self) -> None:
-        """Graceful shutdown: persist all dirty metadata (already current)."""
+        """Persist all dirty metadata (already current), *ordered*.
+
+        The same argument as the stop-loss write applies: a flushed
+        counter line reflects updates whose data may still be in flight
+        toward the WPQ, so it must not be able to land while an earlier
+        data write-back is lost — the stored counter would run *ahead*
+        of the data, which the one-directional retry of counter
+        restoration can never recover.  Each line goes through the
+        one-line atomic batch (a WPQ fence), exactly like the stop-loss
+        persist.
+        """
         for line in list(self.meta.cache.dirty_lines()):
-            self.wpq.write(line.addr, self.meta.encoded(line))
+            self.wpq.begin_atomic()
+            self.wpq.write_atomic(line.addr, self.meta.encoded(line))
+            self.wpq.commit_atomic()
             self.meta.cache.clean(line.addr)
 
     def recover(self) -> RecoveryReport:

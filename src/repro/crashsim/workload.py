@@ -87,10 +87,28 @@ def record_workload(scheme, steps: int, seed: int, profile: str = HOTSET):
     The hot-set profile keeps its warm-up round (every hot block written
     once before the measured stream); the SPEC profiles replay their
     folded write-back stream directly.
+
+    ``ace-k<k>-<rgs>-<fences>`` profiles (see
+    :mod:`repro.trafficgen.ace`) replay their canonical k-write stream
+    with a full epoch drain (``scheme.flush()``) after every fenced
+    write; *steps* is ignored — the enumerated workload's own length is
+    the whole point.
     """
+    from repro.trafficgen.ace import is_ace_profile, parse_profile
+
     recorder = PersistTraceRecorder(scheme, seed=seed)
     recorder.attach()
     now = 0
+    if is_ace_profile(profile):
+        workload = parse_profile(profile)
+        for i, addr in enumerate(workload.addrs()):
+            data = payload(seed, i)
+            scheme.writeback(now, addr, data)
+            recorder.annotate(addr, data)
+            now += 500
+            if workload.fences[i] == "1":
+                scheme.flush()
+        return recorder.detach()
     if profile == HOTSET:
         addrs = hot_addrs()
         for i, addr in enumerate(addrs):

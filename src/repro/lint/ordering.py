@@ -76,6 +76,13 @@ DEFAULT_DETERMINISTIC_ENTRIES = (
     # The serve wire path: every body crossing the client/server boundary
     # must serialize byte-stably (coalesced clients cmp their payloads).
     "serve/protocol.py::",
+    # The workload frontier: descriptors are folded into spec hashes and
+    # traces are content-addressed, so every generator path must be
+    # seeded-Random-only and serialize with sorted keys.
+    "trafficgen/descriptor.py::",
+    "trafficgen/ace.py::",
+    "trafficgen/ingest.py::",
+    "trafficgen/interleave.py::",
 )
 
 #: Consumers that are insensitive to iteration order: a generator over

@@ -149,7 +149,9 @@ class WritePendingQueue:
         self._trace("write", addr)
         if self.obs is not None:
             self.obs.instant(
-                "nvm.write", "wpq", {"region": self.nvm.layout.region_of(addr)}
+                "nvm.write",
+                "wpq",
+                {"region": self.nvm.layout.region_of(addr), "addr": addr},
             )
 
     def write_partial(self, addr: int, offset: int, data: bytes) -> None:
@@ -166,7 +168,9 @@ class WritePendingQueue:
         self._trace("write_partial", addr)
         if self.obs is not None:
             self.obs.instant(
-                "nvm.write", "wpq", {"region": self.nvm.layout.region_of(addr)}
+                "nvm.write",
+                "wpq",
+                {"region": self.nvm.layout.region_of(addr), "addr": addr},
             )
 
     # -- atomic draining protocol -------------------------------------------------
@@ -212,7 +216,11 @@ class WritePendingQueue:
                 self.obs.instant(
                     "nvm.write",
                     "wpq",
-                    {"region": self.nvm.layout.region_of(addr), "atomic": True},
+                    {
+                        "region": self.nvm.layout.region_of(addr),
+                        "addr": addr,
+                        "atomic": True,
+                    },
                 )
         self._trace("commit_atomic")
         self._fault("wpq.after_end")

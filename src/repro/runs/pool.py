@@ -75,7 +75,13 @@ def _execute_simulation(spec: RunSpec):
             sample_every=obs_params.get("sample_every", 0),
         )
 
-    trace = spec_trace(spec.workload, spec.length, spec.seed)
+    descriptor = spec.params.get("workload")
+    if descriptor is not None:
+        from repro.trafficgen.descriptor import build_trace
+
+        trace = build_trace(descriptor, spec.length, spec.seed)
+    else:
+        trace = spec_trace(spec.workload, spec.length, spec.seed)
     result = run_simulation(
         spec.scheme,
         trace,

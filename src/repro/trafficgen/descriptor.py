@@ -1,0 +1,327 @@
+"""The canonical workload descriptor: one schema for every frontend.
+
+A descriptor is a small JSON-able dict that *fully determines* a trace
+given ``(length, seed)``.  It travels inside ``RunSpec.params["workload"]``
+and is therefore covered by the spec hash — two runs with the same
+descriptor, length and seed share a cache entry; any descriptor change
+re-keys them.  The rules that make this safe:
+
+* **versioned** — every descriptor carries ``version``; unknown versions
+  are rejected, never guessed at;
+* **canonical** — :func:`canonical_descriptor` applies defaults and
+  sorts everything, so semantically equal descriptors are byte-equal in
+  canonical JSON (and hash-equal);
+* **content only** — an ingested trace is referenced by its sha256
+  digest, never by a path: the descriptor hashes the trace *content*,
+  and workers resolve the digest through the trace store at run time.
+
+Three kinds:
+
+``profile``
+    a synthetic-generator recipe (the canonical
+    :func:`repro.workloads.spec.workload_to_dict` image), covering the
+    eight Figure-5 surrogates and arbitrary custom profiles;
+``trace``
+    an ingested external trace, referenced by digest (see
+    :mod:`repro.trafficgen.ingest`);
+``interleave``
+    N tenant profiles merged by a seeded deterministic policy (see
+    :mod:`repro.trafficgen.interleave`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Mapping
+
+from repro.runs.spec import canonical_json
+from repro.workloads.spec import (
+    SPEC_PROFILES,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+#: Current descriptor schema version.  Bump when a field is added whose
+#: default does NOT reproduce the previous behaviour.
+SCHEMA_VERSION = 1
+
+#: Descriptor kinds this schema version knows how to build.
+DESCRIPTOR_KINDS = ("profile", "trace", "interleave")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(f"invalid workload descriptor: {message}")
+
+
+def _profile_image(profile) -> dict:
+    """Canonical profile image from a name, a SpecProfile or an image.
+
+    Figure-5 surrogate *names* are accepted everywhere a profile can
+    appear (a convenience for hand-written descriptors); the canonical
+    form always embeds the full image.
+    """
+    if isinstance(profile, str):
+        _require(
+            profile in SPEC_PROFILES, f"unknown profile name {profile!r}"
+        )
+        return workload_to_dict(SPEC_PROFILES[profile])
+    if isinstance(profile, Mapping) or profile is None:
+        return workload_to_dict(workload_from_dict(profile or {}))
+    return workload_to_dict(profile)
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+# ---------------------------------------------------------------------------
+
+
+def profile_descriptor(profile, base: int = 0) -> dict:
+    """Descriptor for one synthetic profile.
+
+    *profile* is a Figure-5 surrogate name, a
+    :class:`~repro.workloads.spec.SpecProfile`, or a
+    :func:`workload_to_dict` image.
+    """
+    return validate_descriptor(
+        {
+            "version": SCHEMA_VERSION,
+            "kind": "profile",
+            "profile": _profile_image(profile),
+            "base": base,
+        }
+    )
+
+
+def trace_descriptor(
+    digest: str, name: str, records: int, source: str = "csv"
+) -> dict:
+    """Descriptor for an ingested external trace, referenced by digest."""
+    return validate_descriptor(
+        {
+            "version": SCHEMA_VERSION,
+            "kind": "trace",
+            "digest": digest,
+            "name": name,
+            "records": records,
+            "source": source,
+        }
+    )
+
+
+def interleave_descriptor(
+    tenants, policy: str = "round_robin", burst: int = 8
+) -> dict:
+    """Descriptor for N tenant streams merged by a seeded policy.
+
+    *tenants* is a list of ``{"name", "profile", "weight"}`` mappings
+    (``profile`` as a name or a :func:`workload_to_dict` image).
+    """
+    normalized = []
+    for tenant in tenants:
+        normalized.append(
+            {
+                "name": tenant["name"],
+                "profile": _profile_image(tenant["profile"]),
+                "weight": float(tenant.get("weight", 1.0)),
+            }
+        )
+    return validate_descriptor(
+        {
+            "version": SCHEMA_VERSION,
+            "kind": "interleave",
+            "policy": policy,
+            "burst": burst,
+            "tenants": normalized,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Validation and canonical form
+# ---------------------------------------------------------------------------
+
+
+def validate_descriptor(desc: Mapping) -> dict:
+    """Check one descriptor and return its canonical dict form.
+
+    Raises ``ValueError`` naming the offending field; never returns a
+    partially-defaulted descriptor.
+    """
+    _require(isinstance(desc, Mapping), "must be a mapping")
+    version = desc.get("version")
+    _require(
+        version == SCHEMA_VERSION,
+        f"unsupported version {version!r} (this build reads "
+        f"version {SCHEMA_VERSION})",
+    )
+    kind = desc.get("kind")
+    _require(
+        kind in DESCRIPTOR_KINDS,
+        f"unknown kind {kind!r}; choose from {DESCRIPTOR_KINDS}",
+    )
+    if kind == "profile":
+        return _validate_profile(desc)
+    if kind == "trace":
+        return _validate_trace(desc)
+    return _validate_interleave(desc)
+
+
+_PROFILE_KEYS = {"version", "kind", "profile", "base"}
+_TRACE_KEYS = {"version", "kind", "digest", "name", "records", "source"}
+_INTERLEAVE_KEYS = {"version", "kind", "policy", "burst", "tenants"}
+
+
+def _check_keys(desc: Mapping, allowed: set) -> None:
+    extra = sorted(set(desc) - allowed)
+    _require(not extra, f"unknown fields {extra}")
+
+
+def _validate_profile(desc: Mapping) -> dict:
+    _check_keys(desc, _PROFILE_KEYS)
+    profile = _profile_image(desc.get("profile"))
+    base = desc.get("base", 0)
+    _require(
+        isinstance(base, int) and base >= 0, "base must be a non-negative int"
+    )
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": "profile",
+        "profile": profile,
+        "base": base,
+    }
+
+
+def _validate_trace(desc: Mapping) -> dict:
+    from repro.trafficgen.ingest import SOURCE_FORMATS
+
+    _check_keys(desc, _TRACE_KEYS)
+    digest = desc.get("digest")
+    _require(
+        isinstance(digest, str)
+        and len(digest) == 64
+        and all(c in "0123456789abcdef" for c in digest),
+        "digest must be a lowercase sha256 hex string",
+    )
+    name = desc.get("name")
+    _require(
+        isinstance(name, str) and 0 < len(name) <= 128,
+        "name must be a short non-empty string",
+    )
+    records = desc.get("records")
+    _require(
+        isinstance(records, int) and records > 0,
+        "records must be a positive int",
+    )
+    source = desc.get("source", "csv")
+    _require(
+        source in SOURCE_FORMATS,
+        f"unknown source format {source!r}; choose from {SOURCE_FORMATS}",
+    )
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": "trace",
+        "digest": digest,
+        "name": name,
+        "records": records,
+        "source": source,
+    }
+
+
+def _validate_interleave(desc: Mapping) -> dict:
+    from repro.trafficgen.interleave import POLICIES
+
+    _check_keys(desc, _INTERLEAVE_KEYS)
+    policy = desc.get("policy", "round_robin")
+    _require(
+        policy in POLICIES, f"unknown policy {policy!r}; choose from {POLICIES}"
+    )
+    burst = desc.get("burst", 8)
+    _require(isinstance(burst, int) and burst >= 1, "burst must be an int >= 1")
+    tenants = desc.get("tenants")
+    _require(
+        isinstance(tenants, list) and len(tenants) >= 2,
+        "interleave needs at least 2 tenants",
+    )
+    names = [t.get("name") for t in tenants]
+    _require(
+        all(isinstance(n, str) and n for n in names),
+        "every tenant needs a non-empty name",
+    )
+    _require(len(set(names)) == len(names), "tenant names must be unique")
+    normalized = []
+    for tenant in tenants:
+        _check_keys(tenant, {"name", "profile", "weight"})
+        weight = tenant.get("weight", 1.0)
+        _require(
+            isinstance(weight, (int, float)) and weight > 0,
+            f"tenant {tenant['name']!r} weight must be positive",
+        )
+        normalized.append(
+            {
+                "name": tenant["name"],
+                "profile": _profile_image(tenant.get("profile")),
+                "weight": float(weight),
+            }
+        )
+    return {
+        "version": SCHEMA_VERSION,
+        "kind": "interleave",
+        "policy": policy,
+        "burst": burst,
+        "tenants": normalized,
+    }
+
+
+def canonical_descriptor(desc: Mapping) -> dict:
+    """Validate and return the canonical form (alias kept for intent)."""
+    return validate_descriptor(desc)
+
+
+def descriptor_digest(desc: Mapping) -> str:
+    """sha256 of the canonical JSON — the descriptor's identity."""
+    canonical = validate_descriptor(desc)
+    return hashlib.sha256(canonical_json(canonical).encode()).hexdigest()
+
+
+def descriptor_label(desc: Mapping) -> str:
+    """Short human label: ``traffic:<kind>:<digest12>``.
+
+    Used as the ``RunSpec.workload`` string for descriptor-driven runs;
+    purely cosmetic (the hash covers the full descriptor in params).
+    """
+    canonical = validate_descriptor(desc)
+    return f"traffic:{canonical['kind']}:{descriptor_digest(canonical)[:12]}"
+
+
+# ---------------------------------------------------------------------------
+# Trace construction (the worker-side entry point)
+# ---------------------------------------------------------------------------
+
+
+def build_trace(desc: Mapping, length: int, seed: int, store_root=None):
+    """Materialize the descriptor's trace at *length* references.
+
+    This is what :func:`repro.runs.pool._execute_simulation` calls when
+    a spec carries a workload descriptor; everything it does is a pure
+    function of ``(descriptor, length, seed)`` — plus, for ``trace``
+    descriptors, the content-addressed store entry the digest names.
+    """
+    canonical = validate_descriptor(desc)
+    kind = canonical["kind"]
+    if kind == "profile":
+        profile = workload_from_dict(canonical["profile"])
+        return profile.generate(length, seed, base=canonical["base"])
+    if kind == "trace":
+        from repro.trafficgen.ingest import TraceStore
+
+        store = TraceStore(store_root)
+        return store.build_trace(canonical, length)
+    from repro.trafficgen.interleave import build_interleaved
+
+    return build_interleaved(canonical, length, seed)[0]
+
+
+def spec_params(desc: Mapping) -> dict[str, Any]:
+    """The ``params`` fragment carrying this descriptor in a RunSpec."""
+    return {"workload": validate_descriptor(desc)}

@@ -1,0 +1,467 @@
+"""External-trace ingestion: validate, normalize, content-address.
+
+The trace schema (version 1) is deliberately tiny — three fields per
+reference:
+
+* ``ts`` — a non-decreasing integer timestamp (instruction count or
+  cycle; only the *deltas* survive normalization, as per-reference
+  ``icount`` gaps);
+* ``op`` — whitelisted: ``R``/``W`` (case-insensitive; ``read``/``write``
+  accepted as aliases).  Anything else is rejected, never guessed;
+* ``addr`` — a non-negative byte address, decimal or ``0x`` hex.
+
+Accepted carriers: **CSV** (header row naming exactly those columns),
+**JSONL** (one object per line, same keys), and **Valgrind Lackey**
+output (``--trace-mem=yes``; ``I`` lines accumulate the instruction
+gaps, ``L``/``S``/``M`` become references — the same convention as
+:meth:`repro.sim.trace.Trace.from_lackey`).  gem5-style memory traces
+map onto the CSV carrier directly (tick, command, address).
+
+Everything is **streamed**: parsing, validation, normalization and
+hashing happen line by line, so a multi-million-reference trace is
+ingested in constant memory.  Normalization folds byte addresses onto
+line-aligned addresses inside a configurable footprint (preserving the
+trace's locality structure mod the footprint) and the canonical
+normalized form is written into a content-addressed **trace store**;
+the workload descriptor then carries only the sha256 digest, keeping
+spec hashes content-true and tiny.
+
+Malformed input raises :class:`TraceFormatError` naming the line number
+and the offending field — a structured diagnosis, never a stack trace
+from deep inside a parser.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.sim.trace import READ, WRITE, Trace, TraceRecord
+
+#: Trace-schema version understood by this build.
+TRACE_SCHEMA_VERSION = 1
+
+#: Carrier formats :meth:`TraceStore.ingest` accepts.
+SOURCE_FORMATS = ("csv", "jsonl", "lackey")
+
+#: Required record fields (CSV columns / JSONL keys), in canonical order.
+FIELDS = ("ts", "op", "addr")
+
+#: Default footprint external addresses are folded into (matches the
+#: largest Figure-5 surrogate).
+DEFAULT_FOOTPRINT = 16 << 20
+
+#: Environment override for the trace-store root.
+STORE_ENV = "CCNVM_TRAFFIC_STORE"
+
+#: Default store root (relative to the working directory, like
+#: ``.repro-cache``).
+DEFAULT_STORE = ".repro-traffic"
+
+_OPS = {"R": READ, "W": WRITE, "READ": READ, "WRITE": WRITE}
+
+#: Addresses beyond 48 bits are rejected as corrupt rather than folded.
+MAX_ADDR = 1 << 48
+
+
+class TraceFormatError(ValueError):
+    """A malformed external trace, diagnosed down to line and field."""
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        line: int | None = None,
+        field: str | None = None,
+        path=None,
+    ) -> None:
+        self.reason = reason
+        self.line = line
+        self.field = field
+        self.path = str(path) if path is not None else None
+        where = []
+        if self.path:
+            where.append(self.path)
+        if line is not None:
+            where.append(f"line {line}")
+        if field is not None:
+            where.append(f"field {field!r}")
+        prefix = ", ".join(where)
+        super().__init__(f"{prefix}: {reason}" if prefix else reason)
+
+
+# ---------------------------------------------------------------------------
+# Field validators
+# ---------------------------------------------------------------------------
+
+
+def _parse_op(raw: str, line: int, path) -> str:
+    op = _OPS.get(raw.strip().upper())
+    if op is None:
+        raise TraceFormatError(
+            f"op {raw.strip()!r} is not in the whitelist "
+            f"{sorted(set(_OPS))}",
+            line=line,
+            field="op",
+            path=path,
+        )
+    return op
+
+
+def _parse_int(raw, line: int, field: str, path) -> int:
+    if isinstance(raw, bool):
+        raise TraceFormatError(
+            f"{raw!r} is not an integer", line=line, field=field, path=path
+        )
+    if isinstance(raw, int):
+        return raw
+    text = str(raw).strip()
+    try:
+        return int(text, 16) if text.lower().startswith("0x") else int(text)
+    except ValueError:
+        raise TraceFormatError(
+            f"{text!r} is not an integer",
+            line=line,
+            field=field,
+            path=path,
+        ) from None
+
+
+def _check_addr(addr: int, line: int, path) -> int:
+    if not 0 <= addr < MAX_ADDR:
+        raise TraceFormatError(
+            f"address {addr:#x} is outside [0, 2^48)",
+            line=line,
+            field="addr",
+            path=path,
+        )
+    return addr
+
+
+def _check_ts(ts: int, prev: int | None, line: int, path) -> int:
+    if ts < 0:
+        raise TraceFormatError(
+            "timestamp is negative", line=line, field="ts", path=path
+        )
+    if prev is not None and ts < prev:
+        raise TraceFormatError(
+            f"timestamp {ts} goes backwards (previous reference was at "
+            f"{prev}); the trace must be time-ordered",
+            line=line,
+            field="ts",
+            path=path,
+        )
+    return ts
+
+
+# ---------------------------------------------------------------------------
+# Carrier parsers: yield raw (op, addr, gap) per reference, streaming
+# ---------------------------------------------------------------------------
+
+
+def _iter_csv(lines: Iterable[str], path) -> Iterator[tuple[str, int, int]]:
+    header: list[str] | None = None
+    prev_ts: int | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text or text.startswith("#"):
+            continue
+        cells = [c.strip() for c in text.split(",")]
+        if header is None:
+            header = [c.lower() for c in cells]
+            extra = sorted(set(header) - set(FIELDS))
+            if extra:
+                raise TraceFormatError(
+                    f"unknown columns {extra}",
+                    line=lineno,
+                    field=extra[0],
+                    path=path,
+                )
+            missing = sorted(set(FIELDS) - set(header))
+            if missing:
+                raise TraceFormatError(
+                    f"missing columns {missing} (the v1 schema needs "
+                    f"exactly {list(FIELDS)})",
+                    line=lineno,
+                    field=missing[0],
+                    path=path,
+                )
+            continue
+        if len(cells) != len(header):
+            short = len(cells) < len(header)
+            field = header[len(cells)] if short else header[-1]
+            raise TraceFormatError(
+                f"row has {len(cells)} cells, header has {len(header)}"
+                + (" (truncated row?)" if short else ""),
+                line=lineno,
+                field=field,
+                path=path,
+            )
+        row = dict(zip(header, cells))
+        ts = _check_ts(
+            _parse_int(row["ts"], lineno, "ts", path), prev_ts, lineno, path
+        )
+        op = _parse_op(row["op"], lineno, path)
+        addr = _check_addr(
+            _parse_int(row["addr"], lineno, "addr", path), lineno, path
+        )
+        gap = 0 if prev_ts is None else ts - prev_ts
+        prev_ts = ts
+        yield op, addr, gap
+    if header is None:
+        raise TraceFormatError("no header row", line=1, field="ts", path=path)
+
+
+def _iter_jsonl(lines: Iterable[str], path) -> Iterator[tuple[str, int, int]]:
+    prev_ts: int | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"invalid JSON ({exc.msg}); truncated line?",
+                line=lineno,
+                field="record",
+                path=path,
+            ) from None
+        if not isinstance(obj, dict):
+            raise TraceFormatError(
+                "each line must be one JSON object",
+                line=lineno,
+                field="record",
+                path=path,
+            )
+        extra = sorted(set(obj) - set(FIELDS))
+        if extra:
+            raise TraceFormatError(
+                f"unknown fields {extra}",
+                line=lineno,
+                field=extra[0],
+                path=path,
+            )
+        missing = sorted(set(FIELDS) - set(obj))
+        if missing:
+            raise TraceFormatError(
+                f"missing fields {missing}",
+                line=lineno,
+                field=missing[0],
+                path=path,
+            )
+        ts = _check_ts(
+            _parse_int(obj["ts"], lineno, "ts", path), prev_ts, lineno, path
+        )
+        op = _parse_op(str(obj["op"]), lineno, path)
+        addr = _check_addr(
+            _parse_int(obj["addr"], lineno, "addr", path), lineno, path
+        )
+        gap = 0 if prev_ts is None else ts - prev_ts
+        prev_ts = ts
+        yield op, addr, gap
+
+
+_LACKEY_OPS = {"L": READ, "S": WRITE, "M": WRITE}
+
+
+def _iter_lackey(lines: Iterable[str], path) -> Iterator[tuple[str, int, int]]:
+    gap = 0
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text:
+            continue
+        marker, _, rest = text.partition(" ")
+        if marker == "I":
+            gap += 1
+            continue
+        op = _LACKEY_OPS.get(marker)
+        if op is None:
+            raise TraceFormatError(
+                f"marker {marker!r} is not one of I/L/S/M",
+                line=lineno,
+                field="op",
+                path=path,
+            )
+        addr_text = rest.strip().split(",")[0]
+        if not addr_text:
+            raise TraceFormatError(
+                "reference has no address (truncated line?)",
+                line=lineno,
+                field="addr",
+                path=path,
+            )
+        try:
+            addr = int(addr_text, 16)
+        except ValueError:
+            raise TraceFormatError(
+                f"{addr_text!r} is not a hex address",
+                line=lineno,
+                field="addr",
+                path=path,
+            ) from None
+        _check_addr(addr, lineno, path)
+        yield op, addr, gap
+        gap = 0
+
+
+_PARSERS = {"csv": _iter_csv, "jsonl": _iter_jsonl, "lackey": _iter_lackey}
+
+
+def parse_records(
+    lines: Iterable[str], fmt: str, path=None
+) -> Iterator[tuple[str, int, int]]:
+    """Stream validated ``(op, addr, gap)`` references from *lines*."""
+    if fmt not in SOURCE_FORMATS:
+        raise ValueError(
+            f"unknown trace format {fmt!r}; choose from {SOURCE_FORMATS}"
+        )
+    return _PARSERS[fmt](lines, path)
+
+
+def normalize_addr(addr: int, footprint: int, base: int) -> int:
+    """Fold a byte address onto a line inside ``[base, base+footprint)``."""
+    lines = footprint // CACHE_LINE_SIZE
+    return base + ((addr // CACHE_LINE_SIZE) % lines) * CACHE_LINE_SIZE
+
+
+# ---------------------------------------------------------------------------
+# The content-addressed trace store
+# ---------------------------------------------------------------------------
+
+
+class TraceStore:
+    """Normalized external traces, addressed by content digest.
+
+    Layout: ``<root>/<digest>.trace`` holds the canonical normalized
+    record lines (``op addr gap``, one per reference); a ``.json``
+    sidecar carries ingest metadata.  The digest is the sha256 of the
+    ``.trace`` bytes, so the descriptor that references it is pinned to
+    the exact normalized content — re-ingesting identical input is a
+    no-op, and a store entry can be copied between machines without
+    re-keying any spec.
+    """
+
+    def __init__(self, root=None) -> None:
+        self.root = Path(
+            root or os.environ.get(STORE_ENV) or DEFAULT_STORE
+        )
+
+    def trace_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.trace"
+
+    def meta_path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def ingest(
+        self,
+        source,
+        fmt: str = "csv",
+        name: str | None = None,
+        footprint: int = DEFAULT_FOOTPRINT,
+        base: int = 0,
+    ) -> dict:
+        """Validate + normalize one external trace file into the store.
+
+        Returns the workload descriptor referencing the stored trace.
+        Streaming end to end: one pass over the input, constant memory,
+        the digest computed incrementally while writing.
+        """
+        from repro.trafficgen.descriptor import trace_descriptor
+
+        if footprint < CACHE_LINE_SIZE:
+            raise ValueError("footprint must cover at least one line")
+        source = Path(source)
+        trace_name = name or source.stem
+        self.root.mkdir(parents=True, exist_ok=True)
+        scratch = self.root / (
+            "incoming-"
+            + hashlib.sha256(f"{source}:{trace_name}".encode()).hexdigest()[:16]
+            + ".tmp"
+        )
+        digester = hashlib.sha256()
+        records = 0
+        try:
+            with open(source, "r", encoding="utf-8", errors="replace") as fh:
+                with open(scratch, "w", encoding="utf-8") as out:
+                    for op, addr, gap in parse_records(fh, fmt, path=source):
+                        folded = normalize_addr(addr, footprint, base)
+                        line = f"{op} {folded} {gap}\n"
+                        digester.update(line.encode())
+                        out.write(line)
+                        records += 1
+        except BaseException:
+            scratch.unlink(missing_ok=True)
+            raise
+        if records == 0:
+            scratch.unlink(missing_ok=True)
+            raise TraceFormatError(
+                "trace contains no references", line=1, field="record",
+                path=source,
+            )
+        digest = digester.hexdigest()
+        final = self.trace_path(digest)
+        if final.exists():
+            scratch.unlink(missing_ok=True)
+        else:
+            os.replace(scratch, final)
+        meta = {
+            "schema": TRACE_SCHEMA_VERSION,
+            "name": trace_name,
+            "records": records,
+            "source": fmt,
+            "footprint": footprint,
+            "base": base,
+            "digest": digest,
+        }
+        self.meta_path(digest).write_text(
+            json.dumps(meta, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return trace_descriptor(digest, trace_name, records, source=fmt)
+
+    def records(self, digest: str, limit: int = 0) -> Iterator[TraceRecord]:
+        """Stream stored records, wrapping around to reach *limit*.
+
+        ``limit == 0`` streams the file exactly once.  A requested
+        length beyond the stored record count cycles the trace — the
+        same convention the synthetic generators use for footprints
+        smaller than the run length.
+        """
+        path = self.trace_path(digest)
+        if not path.exists():
+            raise ValueError(
+                f"trace {digest} is not in the store at {self.root} "
+                f"(set ${STORE_ENV} or re-ingest the source file)"
+            )
+        emitted = 0
+        while True:
+            with open(path, "r", encoding="utf-8") as fh:
+                for text in fh:
+                    op, addr, gap = text.split()
+                    yield TraceRecord(op, int(addr), int(gap))
+                    emitted += 1
+                    if limit and emitted >= limit:
+                        return
+            if not limit or emitted == 0:
+                return
+
+    def build_trace(self, descriptor: dict, length: int) -> Trace:
+        """Materialize a ``trace``-kind descriptor at *length* references."""
+        records = list(
+            self.records(descriptor["digest"], limit=max(0, length))
+        )
+        return Trace(descriptor["name"], records)
+
+    def catalog(self) -> list[dict]:
+        """Metadata of every stored trace, digest-sorted."""
+        if not self.root.is_dir():
+            return []
+        out = []
+        for meta in sorted(self.root.glob("*.json")):
+            out.append(json.loads(meta.read_text(encoding="utf-8")))
+        return out

@@ -1,0 +1,176 @@
+"""Multi-tenant stream interleaving over one shared memory system.
+
+N tenants, each an ordinary synthetic profile, share one simulated
+memory system — the consolidation scenario every secure-NVM controller
+actually faces, and the one the fixed single-stream profiles never
+exercise (tenants destroy each other's metadata locality: counter-line
+and tree-node sharing across *different* address regions is exactly
+what epoch caching and deferred spreading must survive).
+
+Determinism guarantees:
+
+* every tenant stream is generated with the tenant's own derived seed
+  (``seed`` + tenant index), so adding a tenant never perturbs the
+  others' streams;
+* tenants occupy **disjoint** address ranges — tenant i's base is the
+  cumulative line-aligned footprint of tenants 0..i-1 — which is what
+  makes per-tenant attribution exact: every NVM line belongs to exactly
+  one tenant;
+* the merge order is a pure function of ``(descriptor, length, seed)``:
+  round-robin is positional, ``weighted`` and ``bursty`` draw from one
+  seeded ``random.Random`` whose consumption pattern is fixed by the
+  descriptor alone.
+
+The merged trace is byte-identical across serial, pooled and warm-cache
+runs — it flows through the same descriptor machinery as every other
+workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.sim.trace import WRITE, Trace, TraceRecord
+from repro.workloads.spec import workload_from_dict
+
+#: Merge policies the descriptor schema admits.
+POLICIES = ("round_robin", "weighted", "bursty")
+
+
+def tenant_bases(tenants) -> list[int]:
+    """Disjoint, line-aligned base addresses: cumulative footprints."""
+    bases = []
+    cursor = 0
+    for tenant in tenants:
+        bases.append(cursor)
+        footprint = tenant["profile"]["footprint"]
+        lines = max(1, footprint // CACHE_LINE_SIZE)
+        cursor += lines * CACHE_LINE_SIZE
+    return bases
+
+
+def tenant_ranges(desc: Mapping) -> dict[str, tuple[int, int]]:
+    """``name -> [base, limit)`` address range of every tenant."""
+    tenants = desc["tenants"]
+    bases = tenant_bases(tenants)
+    out = {}
+    for tenant, base in zip(tenants, bases):
+        footprint = tenant["profile"]["footprint"]
+        lines = max(1, footprint // CACHE_LINE_SIZE)
+        out[tenant["name"]] = (base, base + lines * CACHE_LINE_SIZE)
+    return out
+
+
+def _tenant_streams(desc: Mapping, length: int, seed: int) -> list[list]:
+    """Each tenant's private stream, long enough to cover any merge."""
+    streams = []
+    for index, (tenant, base) in enumerate(
+        zip(desc["tenants"], tenant_bases(desc["tenants"]))
+    ):
+        profile = workload_from_dict(tenant["profile"])
+        trace = profile.generate(length, seed + index, base=base)
+        streams.append(list(trace.records))
+    return streams
+
+
+def _merge_order(desc: Mapping, length: int, seed: int) -> list[int]:
+    """The tenant index serving each merged slot, per the policy."""
+    tenants = desc["tenants"]
+    n = len(tenants)
+    policy = desc["policy"]
+    if policy == "round_robin":
+        return [i % n for i in range(length)]
+    rng = random.Random(f"interleave-{policy}-{seed}")
+    weights = [t["weight"] for t in tenants]
+    if policy == "weighted":
+        return rng.choices(range(n), weights=weights, k=length)
+    # bursty: a weighted pick of the tenant, then a burst of consecutive
+    # references from it — phase-like behaviour with abrupt handoffs.
+    order: list[int] = []
+    while len(order) < length:
+        tenant = rng.choices(range(n), weights=weights, k=1)[0]
+        burst = rng.randrange(1, desc["burst"] + 1)
+        order.extend([tenant] * burst)
+    return order[:length]
+
+
+def build_interleaved(
+    desc: Mapping, length: int, seed: int
+) -> tuple[Trace, dict]:
+    """Materialize one interleave descriptor.
+
+    Returns ``(trace, attribution)``; the attribution dict maps each
+    tenant to its exact share of the merged stream (references, writes,
+    distinct lines, address range) plus the slot order's policy echo.
+    """
+    if length <= 0:
+        raise ValueError("interleave length must be positive")
+    tenants = desc["tenants"]
+    streams = _tenant_streams(desc, length, seed)
+    order = _merge_order(desc, length, seed)
+    cursors = [0] * len(tenants)
+    merged: list[TraceRecord] = []
+    per_tenant: list[dict] = [
+        {"references": 0, "writes": 0, "lines": set()} for _ in tenants
+    ]
+    for tenant in order:
+        stream = streams[tenant]
+        record = stream[cursors[tenant] % len(stream)]
+        cursors[tenant] += 1
+        merged.append(record)
+        stats = per_tenant[tenant]
+        stats["references"] += 1
+        stats["lines"].add(record.addr)
+        if record.op == WRITE:
+            stats["writes"] += 1
+    ranges = tenant_ranges(desc)
+    attribution = {
+        "policy": desc["policy"],
+        "tenants": {
+            tenant["name"]: {
+                "weight": tenant["weight"],
+                "references": per_tenant[i]["references"],
+                "share": round(per_tenant[i]["references"] / length, 4),
+                "writes": per_tenant[i]["writes"],
+                "distinct_lines": len(per_tenant[i]["lines"]),
+                "range": list(ranges[tenant["name"]]),
+            }
+            for i, tenant in enumerate(tenants)
+        },
+    }
+    name = "+".join(t["name"] for t in tenants)
+    return Trace(f"interleave:{name}", merged), attribution
+
+
+def interleave_attribution(desc: Mapping, length: int, seed: int) -> dict:
+    """Just the per-tenant attribution of one merged stream."""
+    return build_interleaved(desc, length, seed)[1]
+
+
+def attribute_events(events, ranges: Mapping[str, tuple[int, int]]) -> dict:
+    """Fold an obs event stream into per-tenant NVM-write counts.
+
+    *events* is any iterable of :class:`repro.obs.events.Event`;
+    ``nvm.write`` instants carry the written address, and because tenant
+    ranges are disjoint every write lands in exactly one bucket (or in
+    ``"metadata"`` — counters, tree nodes, journal lines live outside
+    every tenant's data range).
+    """
+    buckets = {name: 0 for name in ranges}
+    metadata = 0
+    for event in events:
+        if event.name != "nvm.write":
+            continue
+        addr = (event.args or {}).get("addr")
+        if addr is None:
+            continue
+        for name in sorted(ranges):
+            low, high = ranges[name]
+            if low <= addr < high:
+                buckets[name] += 1
+                break
+        else:
+            metadata += 1
+    return {"tenants": buckets, "metadata": metadata}

@@ -1,0 +1,223 @@
+"""Unit tests for the workload-descriptor schema and spec wiring.
+
+Two contracts: the :func:`workload_to_dict` round trip is *exact* for
+every Figure-5 surrogate (the descriptor can embed any profile without
+drift), and a descriptor folded into a :class:`RunSpec` is covered by
+the spec hash — semantically equal descriptors share a cache key, any
+change re-keys it.
+"""
+
+import pytest
+
+from repro.runs.spec import canonical_json, simulation_spec
+from repro.trafficgen.descriptor import (
+    SCHEMA_VERSION,
+    build_trace,
+    canonical_descriptor,
+    descriptor_digest,
+    descriptor_label,
+    interleave_descriptor,
+    profile_descriptor,
+    spec_params,
+    trace_descriptor,
+    validate_descriptor,
+)
+from repro.workloads.spec import (
+    SPEC_PROFILES,
+    spec_trace,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+DIGEST = "ab" * 32
+
+
+def tenants(weights=(1.0, 3.0)):
+    return [
+        {"name": "alice", "profile": "lbm", "weight": weights[0]},
+        {"name": "bob", "profile": "namd", "weight": weights[1]},
+    ]
+
+
+class TestWorkloadRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SPEC_PROFILES))
+    def test_every_surrogate_round_trips_exactly(self, name):
+        profile = SPEC_PROFILES[name]
+        image = workload_to_dict(profile)
+        rebuilt = workload_from_dict(image)
+        # The recipe round-trips field-for-field...
+        assert workload_to_dict(rebuilt) == image
+        # ...and the generated trace is identical (description is
+        # presentation-only and deliberately not part of the image).
+        original = profile.generate(200, seed=5)
+        regenerated = rebuilt.generate(200, seed=5)
+        assert original.records == regenerated.records
+
+    def test_unknown_fields_rejected(self):
+        image = workload_to_dict(SPEC_PROFILES["lbm"])
+        image["burstiness"] = 2
+        with pytest.raises(ValueError, match="unknown workload fields"):
+            workload_from_dict(image)
+
+    def test_missing_required_fields_named(self):
+        with pytest.raises(ValueError, match="missing required fields"):
+            workload_from_dict({"name": "x"})
+
+
+class TestValidation:
+    def test_profile_descriptor_from_name(self):
+        desc = profile_descriptor("lbm")
+        assert desc["kind"] == "profile"
+        assert desc["version"] == SCHEMA_VERSION
+        assert desc["profile"]["name"] == "lbm"
+        assert desc["base"] == 0
+
+    def test_profile_descriptor_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown profile name"):
+            profile_descriptor("mcf")
+
+    def test_canonical_form_applies_defaults(self):
+        sparse = {
+            "version": SCHEMA_VERSION,
+            "kind": "interleave",
+            "tenants": tenants(),
+        }
+        canonical = canonical_descriptor(sparse)
+        assert canonical["policy"] == "round_robin"
+        assert canonical["burst"] == 8
+        # Canonicalizing twice is a fixpoint.
+        assert canonical_descriptor(canonical) == canonical
+
+    def test_wrong_version_rejected(self):
+        desc = dict(profile_descriptor("lbm"), version=2)
+        with pytest.raises(ValueError, match="unsupported version"):
+            validate_descriptor(desc)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            validate_descriptor({"version": SCHEMA_VERSION, "kind": "pcap"})
+
+    def test_extra_fields_rejected(self):
+        desc = dict(profile_descriptor("lbm"), rate=3)
+        with pytest.raises(ValueError, match=r"unknown fields \['rate'\]"):
+            validate_descriptor(desc)
+
+    @pytest.mark.parametrize(
+        "digest", ["", "zz" * 32, DIGEST.upper(), DIGEST[:40]]
+    )
+    def test_bad_trace_digest_rejected(self, digest):
+        with pytest.raises(ValueError, match="sha256"):
+            trace_descriptor(digest, "t", 10)
+
+    def test_trace_descriptor_happy_path(self):
+        desc = trace_descriptor(DIGEST, "llc", 10_000, source="jsonl")
+        assert desc["digest"] == DIGEST
+        assert desc["records"] == 10_000
+        assert desc["source"] == "jsonl"
+
+    def test_interleave_needs_two_tenants(self):
+        with pytest.raises(ValueError, match="at least 2 tenants"):
+            interleave_descriptor(tenants()[:1])
+
+    def test_duplicate_tenant_names_rejected(self):
+        pair = tenants()
+        pair[1]["name"] = "alice"
+        with pytest.raises(ValueError, match="unique"):
+            interleave_descriptor(pair)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight must be positive"):
+            interleave_descriptor(tenants(weights=(1.0, 0)))
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            interleave_descriptor(tenants(), policy="fifo")
+
+
+class TestIdentity:
+    def test_digest_is_stable_and_canonical(self):
+        a = descriptor_digest(profile_descriptor("lbm"))
+        b = descriptor_digest(profile_descriptor("lbm"))
+        assert a == b
+        # A semantically different descriptor re-keys.
+        assert a != descriptor_digest(profile_descriptor("namd"))
+        assert a != descriptor_digest(profile_descriptor("lbm", base=4096))
+
+    def test_label_shape(self):
+        desc = profile_descriptor("lbm")
+        label = descriptor_label(desc)
+        assert label == f"traffic:profile:{descriptor_digest(desc)[:12]}"
+
+    def test_digest_ignores_field_order(self):
+        desc = profile_descriptor("gcc")
+        shuffled = dict(reversed(list(desc.items())))
+        assert descriptor_digest(shuffled) == descriptor_digest(desc)
+
+
+class TestSpecWiring:
+    def test_descriptor_travels_in_params_and_hash(self):
+        desc = profile_descriptor("lbm")
+        spec = simulation_spec(
+            "ccnvm", "", 1000, 1, workload_descriptor=desc
+        )
+        assert spec.params["workload"] == validate_descriptor(desc)
+        assert spec.workload == descriptor_label(desc)
+        # Same descriptor → same hash; different descriptor → new key.
+        again = simulation_spec(
+            "ccnvm", "", 1000, 1, workload_descriptor=profile_descriptor("lbm")
+        )
+        assert spec.spec_hash() == again.spec_hash()
+        other = simulation_spec(
+            "ccnvm", "", 1000, 1, workload_descriptor=profile_descriptor("gcc")
+        )
+        assert spec.spec_hash() != other.spec_hash()
+
+    def test_descriptorless_specs_unchanged(self):
+        # The descriptor field must not perturb existing spec hashes.
+        spec = simulation_spec("ccnvm", "lbm", 1000, 1)
+        assert "workload" not in spec.params
+
+    def test_explicit_workload_name_wins_over_label(self):
+        desc = profile_descriptor("lbm")
+        spec = simulation_spec(
+            "ccnvm", "custom", 1000, 1, workload_descriptor=desc
+        )
+        assert spec.workload == "custom"
+
+    def test_spec_params_fragment(self):
+        desc = profile_descriptor("milc")
+        fragment = spec_params(desc)
+        assert set(fragment) == {"workload"}
+        assert canonical_json(fragment["workload"]) == canonical_json(
+            validate_descriptor(desc)
+        )
+
+
+class TestBuildTrace:
+    def test_profile_kind_matches_spec_trace(self):
+        desc = profile_descriptor("gcc")
+        trace = build_trace(desc, 500, 9)
+        assert trace.records == spec_trace("gcc", 500, 9).records
+
+    def test_base_offsets_the_stream(self):
+        flat = build_trace(profile_descriptor("lbm"), 100, 1)
+        raised = build_trace(profile_descriptor("lbm", base=1 << 20), 100, 1)
+        assert [r.addr + (1 << 20) for r in flat.records] == [
+            r.addr for r in raised.records
+        ]
+
+    def test_trace_kind_resolves_through_store(self, tmp_path):
+        from repro.trafficgen.ingest import TraceStore
+
+        store = TraceStore(tmp_path)
+        source = tmp_path / "s.csv"
+        source.write_text("ts,op,addr\n0,W,0\n4,R,64\n")
+        desc = store.ingest(source, footprint=4096)
+        trace = build_trace(desc, 4, 0, store_root=tmp_path)
+        assert len(trace.records) == 4
+
+    def test_interleave_kind_builds_merged_stream(self):
+        desc = interleave_descriptor(tenants())
+        trace = build_trace(desc, 40, 2)
+        assert len(trace.records) == 40
+        assert trace.name == "interleave:alice+bob"
